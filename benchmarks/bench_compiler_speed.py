@@ -1,0 +1,50 @@
+"""Library performance benchmarks: how fast are the compiler passes?
+
+The paper gives complexity bounds — interference-graph construction is
+O(B·n²) and greedy partitioning O(v²) (Section 3.1) — so these measure
+the passes in isolation on the largest workloads.
+
+Run:  pytest benchmarks/bench_compiler_speed.py --benchmark-only
+"""
+
+import pytest
+
+from repro.compiler import compile_module
+from repro.partition.graph_builder import build_interference_graph
+from repro.partition.greedy import GreedyPartitioner
+from repro.partition.strategies import Strategy
+from repro.sim.simulator import Simulator
+from repro.workloads.registry import KERNELS, APPLICATIONS
+
+
+def test_interference_graph_construction(benchmark):
+    module = KERNELS["fft_256"].build()
+    graph = benchmark(build_interference_graph, module)
+    assert len(graph) > 0
+
+
+def test_greedy_partitioning(benchmark):
+    module = APPLICATIONS["lpc"].build()
+    graph = build_interference_graph(module)
+    result = benchmark(lambda: GreedyPartitioner(graph).partition())
+    assert result.final_cost <= graph.total_weight()
+
+
+def test_full_compile_fft1024(benchmark):
+    result = benchmark.pedantic(
+        lambda: compile_module(KERNELS["fft_1024"].build(), strategy=Strategy.CB),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.code_size > 0
+
+
+def test_simulation_throughput(benchmark):
+    compiled = compile_module(KERNELS["fir_256_64"].build(), strategy=Strategy.CB)
+
+    def run():
+        return Simulator(compiled.program).run()
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["cycles"] = result.cycles
+    benchmark.extra_info["operations"] = result.operations

@@ -1,0 +1,43 @@
+"""Regenerate paper Figure 7: performance gain for the 12 DSP kernels.
+
+Each benchmark times one full compile-and-simulate pipeline run for one
+kernel under the CB configuration; the session epilogue prints the
+complete reproduced figure (CB and Ideal series) next to the paper's
+stated facts.
+
+Run:  pytest benchmarks/bench_figure7.py --benchmark-only -s
+"""
+
+import pytest
+
+from benchmarks.conftest import measured, run_pipeline_once
+from repro.evaluation.figures import figure7
+from repro.evaluation.paper_data import KERNEL_ORDER, PAPER_FIGURE7_FACTS
+from repro.evaluation.reporting import render_figure7
+from repro.partition.strategies import Strategy
+
+
+@pytest.mark.parametrize("name", KERNEL_ORDER)
+def test_figure7_kernel(benchmark, name):
+    cycles = benchmark.pedantic(
+        run_pipeline_once, args=(name, Strategy.CB), rounds=1, iterations=1
+    )
+    evaluation = measured(name, (Strategy.CB, Strategy.IDEAL))
+    gain = evaluation.gain_percent(Strategy.CB)
+    ideal = evaluation.gain_percent(Strategy.IDEAL)
+    benchmark.extra_info["cycles_cb"] = evaluation.cycles(Strategy.CB)
+    benchmark.extra_info["gain_cb_percent"] = round(gain, 1)
+    benchmark.extra_info["gain_ideal_percent"] = round(ideal, 1)
+    # Paper: partitioning improves performance for all the kernels,
+    # 13%-49%, and CB is (nearly) identical to Ideal.
+    low, high = PAPER_FIGURE7_FACTS["cb_gain_range"]
+    assert gain > 0
+    assert low - 5.0 <= gain <= high + 6.0
+    assert gain >= ideal - 4.0
+
+
+def test_figure7_report(benchmark, capsys):
+    series = benchmark.pedantic(figure7, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(render_figure7(series))

@@ -1,0 +1,64 @@
+"""Regenerate paper Figure 8: performance gain for the 11 applications.
+
+Times one compile-and-simulate pipeline per application under each of
+the figure's four configurations (CB, Pr, Dup, Ideal) and prints the
+full reproduced series.
+
+Run:  pytest benchmarks/bench_figure8.py --benchmark-only -s
+"""
+
+import pytest
+
+from benchmarks.conftest import measured, run_pipeline_once
+from repro.evaluation.figures import FIGURE8_STRATEGIES, figure8
+from repro.evaluation.paper_data import (
+    APPLICATION_ORDER,
+    PAPER_FIGURE8_FACTS,
+)
+from repro.evaluation.reporting import render_figure8
+from repro.partition.strategies import Strategy
+
+_LABELS = {
+    Strategy.CB: "CB",
+    Strategy.CB_PROFILE: "Pr",
+    Strategy.CB_DUP: "Dup",
+    Strategy.IDEAL: "Ideal",
+}
+
+
+@pytest.mark.parametrize("name", APPLICATION_ORDER)
+@pytest.mark.parametrize(
+    "strategy", FIGURE8_STRATEGIES, ids=[_LABELS[s] for s in FIGURE8_STRATEGIES]
+)
+def test_figure8_application(benchmark, name, strategy):
+    benchmark.pedantic(
+        run_pipeline_once, args=(name, strategy), rounds=1, iterations=1
+    )
+    evaluation = measured(name, FIGURE8_STRATEGIES)
+    gain = evaluation.gain_percent(strategy)
+    benchmark.extra_info["gain_percent"] = round(gain, 1)
+    # Nothing beats the dual-ported Ideal reference.
+    assert gain <= evaluation.gain_percent(Strategy.IDEAL) + 0.5
+
+
+@pytest.mark.parametrize("name", PAPER_FIGURE8_FACTS["zero_gain_apps"])
+def test_zero_gain_apps(benchmark, name):
+    evaluation = benchmark.pedantic(
+        measured, args=(name, FIGURE8_STRATEGIES), rounds=1, iterations=1
+    )
+    assert evaluation.gain_percent(Strategy.IDEAL) <= 3.5
+
+
+def test_lpc_headline(benchmark):
+    evaluation = benchmark.pedantic(
+        measured, args=("lpc", FIGURE8_STRATEGIES), rounds=1, iterations=1
+    )
+    assert evaluation.gain_percent(Strategy.CB) < 10.0
+    assert evaluation.gain_percent(Strategy.CB_DUP) > 30.0
+
+
+def test_figure8_report(benchmark, capsys):
+    series = benchmark.pedantic(figure8, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(render_figure8(series))

@@ -1,0 +1,46 @@
+"""Parameter sweeps: the paper's effects as curves, crossovers included.
+
+Run:  pytest benchmarks/bench_sweeps.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.evaluation.sweeps import duplication_crossover, kernel_size_sweep
+
+
+def test_fir_gain_vs_size(benchmark, capsys):
+    series = benchmark.pedantic(kernel_size_sweep, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print("Sweep: CB gain vs FIR tap count")
+        for taps, gain in series:
+            print("  taps=%4d  +%5.1f%%  |%s" % (taps, gain, "#" * int(gain)))
+    gains = [gain for _t, gain in series]
+    # The per-iteration win is structural: gains grow toward the
+    # asymptote as loop overhead amortizes, and never regress.
+    assert all(b >= a - 0.5 for a, b in zip(gains, gains[1:]))
+    assert gains[-1] > 45.0
+
+
+def test_duplication_pcr_crossover(benchmark, capsys):
+    rows, crossover = benchmark.pedantic(
+        duplication_crossover, rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print("Sweep: duplication PCR vs frame size (paper Sec 4.2 trade-off)")
+        print("  %-7s %8s %8s %8s %8s" % ("frame", "PCR(CB)", "PCR(Dup)", "PG", "CI"))
+        for frame, pcr_cb, pcr_dup, pg, ci in rows:
+            marker = "  <- crossover" if frame == crossover else ""
+            print(
+                "  %-7d %8.3f %8.3f %8.2f %8.2f%s"
+                % (frame, pcr_cb, pcr_dup, pg, ci, marker)
+            )
+    # Duplication wins clearly at small frames...
+    first = rows[0]
+    assert first[2] > first[1]
+    # ...its PCR declines monotonically as the duplicated array grows...
+    pcr_dups = [row[2] for row in rows]
+    assert all(b < a for a, b in zip(pcr_dups, pcr_dups[1:]))
+    # ...and eventually partitioning alone is the better trade.
+    assert crossover is not None

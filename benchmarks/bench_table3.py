@@ -1,0 +1,65 @@
+"""Regenerate paper Table 3: performance/cost trade-offs of duplication.
+
+Times the FullDup pipeline per application (the configuration Table 3
+adds over Figure 8) and prints the full reproduced table with the
+paper's own rows interleaved.
+
+Run:  pytest benchmarks/bench_table3.py --benchmark-only -s
+"""
+
+import pytest
+
+from benchmarks.conftest import run_pipeline_once
+from repro.evaluation.paper_data import APPLICATION_ORDER, PAPER_TABLE3
+from repro.evaluation.reporting import render_table3
+from repro.evaluation.tables import table3
+from repro.partition.strategies import Strategy
+
+_TABLE = {}
+
+
+def _full_table():
+    if "t3" not in _TABLE:
+        _TABLE["t3"] = table3()
+    return _TABLE["t3"]
+
+
+@pytest.mark.parametrize("name", APPLICATION_ORDER)
+def test_table3_row(benchmark, name):
+    benchmark.pedantic(
+        run_pipeline_once, args=(name, Strategy.FULL_DUP), rounds=1, iterations=1
+    )
+    table = _full_table()
+    cells = table.rows[name]
+    for label in ("FullDup", "Dup", "CB", "Ideal"):
+        benchmark.extra_info[label] = "PG=%.2f CI=%.2f PCR=%.2f" % (
+            cells[label].pg,
+            cells[label].ci,
+            cells[label].pcr,
+        )
+    # Full duplication is never cost-effective (paper Section 4.2).
+    assert cells["FullDup"].pcr < 1.0
+    # Partitioning alone never increases memory cost meaningfully.
+    assert cells["CB"].ci <= 1.02
+
+
+def test_table3_mean_row_shapes(benchmark):
+    table = benchmark.pedantic(_full_table, rounds=1, iterations=1)
+    pg_full, ci_full, pcr_full = table.mean("FullDup")
+    pg_dup, ci_dup, pcr_dup = table.mean("Dup")
+    pg_cb, ci_cb, pcr_cb = table.mean("CB")
+    pg_ideal, _ci_ideal, pcr_ideal = table.mean("Ideal")
+    assert ci_full > 1.5          # paper: 1.62
+    assert pcr_full < 1.0         # paper: 0.68
+    assert ci_dup < 1.25          # paper: 1.01
+    assert pcr_dup > 1.0          # paper: 1.06
+    assert pcr_cb > 1.0           # paper: 1.06
+    assert pg_ideal >= pg_cb      # Ideal bounds CB
+    assert pg_ideal >= pg_dup - 0.01
+
+
+def test_table3_report(benchmark, capsys):
+    table = benchmark.pedantic(_full_table, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(render_table3(table))

@@ -1,0 +1,38 @@
+"""Benchmark-session plumbing.
+
+The figure/table regenerations are cached per session so that the
+per-benchmark timing functions measure one (workload, configuration)
+pipeline run each, while the printed reports cover the full figure.
+"""
+
+import pytest
+
+from repro.evaluation.runner import evaluate_workload
+from repro.partition.strategies import Strategy
+from repro.workloads.registry import all_workloads
+
+_CACHE = {}
+
+
+def measured(name, strategies):
+    """Session-cached evaluation of one workload."""
+    key = (name, tuple(strategies))
+    if key not in _CACHE:
+        _CACHE[key] = evaluate_workload(all_workloads()[name], list(strategies))
+    return _CACHE[key]
+
+
+def run_pipeline_once(name, strategy):
+    """One compile+simulate+verify pass (the unit the benchmarks time)."""
+    from repro.compiler import compile_module
+    from repro.sim.simulator import Simulator
+
+    workload = all_workloads()[name]
+    counts = {} if strategy is Strategy.CB_PROFILE else None
+    compiled = compile_module(
+        workload.build(), strategy=strategy, profile_counts=counts
+    )
+    simulator = Simulator(compiled.program)
+    result = simulator.run()
+    workload.verify(simulator)
+    return result.cycles

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Quickstart: compile one kernel for a dual-bank DSP and watch the
+allocation pass earn its keep.
+
+Builds the paper's flagship example — an FIR filter (Figure 1) — through
+the public API, compiles it under the single-bank baseline and under
+compaction-based (CB) data partitioning, shows the interference graph and
+the bank assignment, disassembles the inner loop, and compares cycle
+counts on the instruction-set simulator.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ProgramBuilder, Simulator, Strategy, compile_module
+
+TAPS = 32
+SAMPLES = 8
+
+
+def build_fir():
+    """A TAPS-tap FIR filter over SAMPLES output samples, in the DSL."""
+    pb = ProgramBuilder("fir_demo")
+    coeff = pb.global_array(
+        "coeff", TAPS, float, init=[1.0 / TAPS] * TAPS
+    )
+    x = pb.global_array(
+        "x", TAPS + SAMPLES, float,
+        init=[float(i % 7) for i in range(TAPS + SAMPLES)],
+    )
+    y = pb.global_array("y", SAMPLES, float)
+    with pb.function("main") as f:
+        with f.loop(SAMPLES, name="n") as n:
+            acc = f.float_var("acc")
+            f.assign(acc, 0.0)
+            with f.loop(TAPS, name="k") as k:
+                # coeff[k] and x[n+k]: the two loads the dual banks exist
+                # to pair (paper Figure 1).
+                f.assign(acc, acc + coeff[k] * x[n + k])
+            f.assign(y[n], acc)
+    return pb.build()
+
+
+def main():
+    print("=== 1. Compile with the allocation pass disabled (baseline) ===")
+    baseline = compile_module(build_fir(), strategy=Strategy.SINGLE_BANK)
+    sim = Simulator(baseline.program)
+    base_result = sim.run()
+    print("all data in bank X; %d cycles" % base_result.cycles)
+
+    print()
+    print("=== 2. Compile with compaction-based partitioning ===")
+    cb = compile_module(build_fir(), strategy=Strategy.CB)
+    print(cb.allocation.graph.describe())
+    print("bank assignment:", cb.allocation.bank_summary(cb.program.module))
+
+    print()
+    print("=== 3. The compacted inner loop ===")
+    listing = cb.program.dump().splitlines()
+    body = [line for line in listing if "body" in line or "MU" in line]
+    for line in body[:8]:
+        print(line)
+
+    print()
+    print("=== 4. Simulate and compare ===")
+    sim_cb = Simulator(cb.program)
+    cb_result = sim_cb.run()
+    print("baseline : %6d cycles" % base_result.cycles)
+    print("CB       : %6d cycles" % cb_result.cycles)
+    gain = 100.0 * (base_result.cycles / cb_result.cycles - 1.0)
+    print("gain     : +%.1f%%  (paper's kernel band: 13%%-49%%)" % gain)
+
+    expected = [
+        sum(
+            (1.0 / TAPS) * float((n + k) % 7)
+            for k in range(TAPS)
+        )
+        for n in range(SAMPLES)
+    ]
+    got = sim_cb.read_global("y")
+    worst = max(abs(g - e) for g, e in zip(got, expected))
+    print("output max error vs reference: %.2e" % worst)
+    assert worst < 1e-12
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Duplicated data under interrupts: the store-lock/store-unlock story.
+
+Paper Section 3.2 warns that duplicating data complicates interrupt
+handling: an interrupt landing between the two stores of a duplicated-
+data update could observe (or create) divergent copies, so updates use
+a store-lock / store-unlock pair and the handler must know about both
+copies.
+
+This script builds a small streaming workload whose input buffer gets
+duplicated, runs it with an interrupt injected *between every
+instruction*, and shows that
+
+1. with the lock protocol (the default), every interrupt observes
+   coherent copies, and
+2. an interrupt handler feeding new samples mid-run (via the
+   dual-copy-aware `write_global`) is picked up by the program.
+
+Run:  python examples/streaming_interrupts.py
+"""
+
+from repro.compiler import CompileOptions, compile_module
+from repro.frontend import ProgramBuilder
+from repro.partition.strategies import Strategy
+from repro.sim.interrupts import InterruptInjector
+from repro.sim.simulator import Simulator
+
+FRAME = 24
+LAGS = 4
+
+
+def build():
+    pb = ProgramBuilder("stream")
+    inbox = pb.global_scalar("inbox", float)
+    signal = pb.global_array("signal", FRAME, float)
+    corr = pb.global_array("corr", LAGS, float)
+    with pb.function("main") as f:
+        # Fill the working buffer from the (interrupt-fed) inbox.
+        with f.loop(FRAME) as i:
+            f.assign(signal[i], inbox[0] + i * 0.125)
+        # Autocorrelation: same-array parallel reads -> `signal` is
+        # duplicated, so its stores above became lock/unlock pairs.
+        with f.loop(LAGS, name="m") as m:
+            acc = f.float_var("acc")
+            f.assign(acc, 0.0)
+            with f.for_range(0, FRAME - LAGS, name="n") as n:
+                f.assign(acc, acc + signal[n] * signal[n + m])
+            f.assign(corr[m], acc)
+    return pb.build()
+
+
+def main():
+    module = build()
+    compiled = compile_module(
+        module, CompileOptions(strategy=Strategy.CB_DUP, interrupt_safe=True)
+    )
+    duplicated = [s.name for s in compiled.allocation.duplicated]
+    print("duplicated arrays:", duplicated)
+    assert "signal" in duplicated
+
+    fed = []
+
+    def handler(sim, cycle):
+        # A bursty external source raising the DC level mid-run.
+        if cycle in (5, 40):
+            sim.write_global("inbox", [1.0 + cycle / 100.0])
+            fed.append(cycle)
+
+    injector = InterruptInjector(module, period=1, writer=handler)
+    simulator = Simulator(compiled.program, interrupt_hook=injector)
+    simulator.run()
+
+    print(
+        "interrupts delivered: %d (every unlocked instruction boundary)"
+        % injector.delivered
+    )
+    print("samples fed by the handler at cycles:", fed)
+    print("autocorrelation:", [round(v, 3) for v in simulator.read_global("corr")])
+    print()
+    print("every delivery checked X copy == Y copy for all duplicated data")
+    print("(run tests/sim/test_interrupts.py to see the unlocked variant")
+    print(" diverge when the protocol is disabled)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Where the trade-offs cross: sweeps over problem size.
+
+The paper's Table 3 gives the duplication decision at one design point
+per application.  This script traces the underlying curves with the
+sweep harness:
+
+1. CB gain vs FIR size — the dual-bank win is structural, so the gain
+   climbs toward its asymptote as loop overhead amortizes;
+2. duplication's performance/cost ratio vs frame size for an
+   autocorrelation codec — worth it while the duplicated frame is a
+   small share of memory, and crossing below plain partitioning as the
+   frame grows: the PCR-based decision the paper's Section 4.2 proposes,
+   as a curve with a visible crossover.
+
+Run:  python examples/sweep_study.py
+"""
+
+from repro.evaluation.sweeps import duplication_crossover, kernel_size_sweep
+
+
+def bar(value, scale, width=44):
+    return "#" * max(0, min(width, int(round(value * scale))))
+
+
+def main():
+    print("Sweep 1: CB gain vs FIR tap count")
+    for taps, gain in kernel_size_sweep((8, 16, 32, 64, 128, 256)):
+        print("  taps=%4d  +%5.1f%%  |%s" % (taps, gain, bar(gain, 0.8)))
+
+    print()
+    print("Sweep 2: the duplication decision vs frame size")
+    print("  (autocorrelation codec; only the signal frame is duplicated)")
+    rows, crossover = duplication_crossover((16, 32, 64, 128, 256, 512))
+    print("  %-7s %9s %9s" % ("frame", "PCR(CB)", "PCR(Dup)"))
+    for frame, pcr_cb, pcr_dup, _pg, _ci in rows:
+        marker = "   <-- duplication stops paying here" if frame == crossover else ""
+        print(
+            "  %-7d %9.3f %9.3f  |%s%s"
+            % (frame, pcr_cb, pcr_dup, bar(pcr_dup, 20), marker)
+        )
+    print()
+    print("Paper Section 4.2: 'the gain in performance must be weighed")
+    print("against the increase in memory cost' — above, quantitatively.")
+
+
+if __name__ == "__main__":
+    main()

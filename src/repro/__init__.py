@@ -1,0 +1,55 @@
+"""repro — reproduction of *Exploiting Dual Data-Memory Banks in Digital
+Signal Processors* (Saghir, Chow & Lee, ASPLOS 1996).
+
+The package is a complete, self-contained stack:
+
+* :mod:`repro.frontend` — a Python-embedded DSL standing in for the
+  paper's C front-end;
+* :mod:`repro.ir` / :mod:`repro.analysis` — the unpacked-operation IR and
+  the analyses the back-end needs;
+* :mod:`repro.partition` — **the paper's contribution**: compaction-based
+  data partitioning and partial data duplication;
+* :mod:`repro.compiler` — register allocation, dual-stack frames, and the
+  operation-compaction (VLIW scheduling) pass;
+* :mod:`repro.sim` — a cycle-counting instruction-set simulator of the
+  nine-unit VLIW model architecture with dual data banks;
+* :mod:`repro.workloads` — the paper's 12 kernels and 11 applications;
+* :mod:`repro.cost` / :mod:`repro.evaluation` — the cost model and the
+  harness regenerating Figures 7-8 and Table 3.
+
+Quickstart
+----------
+>>> from repro import ProgramBuilder, Strategy, compile_module, Simulator
+>>> pb = ProgramBuilder("dot")
+>>> A = pb.global_array("A", 64, float, init=[1.0] * 64)
+>>> B = pb.global_array("B", 64, float, init=[0.5] * 64)
+>>> out = pb.global_scalar("out", float)
+>>> with pb.function("main") as f:
+...     acc = f.float_var("acc")
+...     f.assign(acc, 0.0)
+...     with f.loop(64) as i:
+...         f.assign(acc, acc + A[i] * B[i])
+...     f.assign(out[0], acc)
+>>> compiled = compile_module(pb.build(), strategy=Strategy.CB)
+>>> simulator = Simulator(compiled.program)
+>>> _ = simulator.run()
+>>> simulator.read_global("out")
+32.0
+"""
+
+from repro.compiler import CompileOptions, compile_module
+from repro.frontend import ProgramBuilder
+from repro.partition import Strategy, run_allocation
+from repro.sim import Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompileOptions",
+    "ProgramBuilder",
+    "Simulator",
+    "Strategy",
+    "compile_module",
+    "run_allocation",
+    "__version__",
+]

@@ -1,0 +1,221 @@
+"""Command-line driver:  python -m repro <command> ...
+
+Commands
+--------
+list
+    List every workload in the suite (paper Tables 1 and 2).
+run WORKLOAD [--strategy S] [--pipeline] [--dump] [--stats]
+    Compile one workload under one configuration, simulate, verify, and
+    report cycles (optionally the disassembly and unit utilization).
+compare WORKLOAD [--strategies S1,S2,...]
+    Run one workload under several configurations side by side.
+figure7 / figure8 / table3
+    Regenerate the corresponding paper artifact.
+"""
+
+import argparse
+import sys
+
+from repro.compiler import CompileOptions, compile_module
+from repro.partition.strategies import PAPER_LABELS, Strategy
+from repro.sim.simulator import Simulator
+from repro.sim.statistics import utilization
+from repro.sim.tracing import collect_block_counts
+
+
+def _strategy(name):
+    try:
+        return Strategy[name.upper()]
+    except KeyError:
+        choices = ", ".join(s.name for s in Strategy)
+        raise SystemExit("unknown strategy %r (choose from: %s)" % (name, choices))
+
+
+def _workload(name):
+    from repro.workloads.registry import all_workloads
+
+    table = all_workloads()
+    if name not in table:
+        raise SystemExit(
+            "unknown workload %r (run `python -m repro list`)" % name
+        )
+    return table[name]
+
+
+def _profile(workload):
+    compiled = compile_module(workload.build(), strategy=Strategy.SINGLE_BANK)
+    simulator = Simulator(compiled.program)
+    result = simulator.run()
+    return collect_block_counts(compiled.program, result)
+
+
+def _run_one(workload, strategy, software_pipelining=False):
+    counts = _profile(workload) if strategy.needs_profile else None
+    compiled = compile_module(
+        workload.build(),
+        CompileOptions(
+            strategy=strategy,
+            profile_counts=counts,
+            software_pipelining=software_pipelining,
+        ),
+    )
+    simulator = Simulator(compiled.program)
+    result = simulator.run()
+    workload.verify(simulator)
+    return compiled, simulator, result
+
+
+def cmd_list(_args):
+    from repro.workloads.registry import APPLICATIONS, KERNELS
+
+    print("kernels (paper Table 1):")
+    for name in KERNELS:
+        print("  %s" % name)
+    print("applications (paper Table 2):")
+    for name in APPLICATIONS:
+        print("  %s" % name)
+    return 0
+
+
+def cmd_run(args):
+    workload = _workload(args.workload)
+    strategy = _strategy(args.strategy)
+    compiled, simulator, result = _run_one(workload, strategy, args.pipeline)
+    print(
+        "%s under %s: %d cycles (%d ops, %.2f ops/cycle), verified OK"
+        % (
+            workload.name,
+            PAPER_LABELS[strategy],
+            result.cycles,
+            result.operations,
+            result.parallelism,
+        )
+    )
+    if compiled.allocation.graph is not None:
+        print(compiled.allocation.graph.describe())
+        print("banks:", compiled.allocation.bank_summary(compiled.program.module))
+    if compiled.allocation.duplicated:
+        print("duplicated:", [s.name for s in compiled.allocation.duplicated])
+    if args.stats:
+        print(utilization(compiled.program, result).describe())
+    if args.dump:
+        print(compiled.program.dump())
+    if args.asm:
+        from repro.machine.asm import format_asm
+
+        print(format_asm(compiled.program))
+    return 0
+
+
+def cmd_compare(args):
+    workload = _workload(args.workload)
+    names = args.strategies.split(",")
+    strategies = [_strategy(n) for n in names]
+    if Strategy.SINGLE_BANK not in strategies:
+        strategies.insert(0, Strategy.SINGLE_BANK)
+    baseline = None
+    print("%-14s %10s %8s" % ("configuration", "cycles", "gain"))
+    for strategy in strategies:
+        _compiled, _sim, result = _run_one(workload, strategy, args.pipeline)
+        if baseline is None:
+            baseline = result.cycles
+        gain = 100.0 * (baseline / result.cycles - 1.0)
+        print(
+            "%-14s %10d %+7.1f%%"
+            % (PAPER_LABELS[strategy], result.cycles, gain)
+        )
+    return 0
+
+
+def cmd_figure7(_args):
+    from repro.evaluation import figure7, render_figure7
+
+    print(render_figure7(figure7()))
+    return 0
+
+
+def cmd_figure8(_args):
+    from repro.evaluation import figure8, render_figure8
+
+    print(render_figure8(figure8()))
+    return 0
+
+
+def cmd_table3(_args):
+    from repro.evaluation import render_table3, table3
+
+    print(render_table3(table3()))
+    return 0
+
+
+def cmd_report(_args):
+    from repro.evaluation import figure7, figure8, table3
+    from repro.evaluation.reporting import render_markdown
+
+    print(render_markdown(figure7(), figure8(), table3()))
+    return 0
+
+
+def cmd_graph(args):
+    workload = _workload(args.workload)
+    compiled = compile_module(workload.build(), strategy=Strategy.CB)
+    allocation = compiled.allocation
+    print(allocation.graph.to_dot(allocation.partition))
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Dual data-memory bank compiler reproduction (ASPLOS 1996)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list all workloads").set_defaults(func=cmd_list)
+
+    run = sub.add_parser("run", help="compile+simulate one workload")
+    run.add_argument("workload")
+    run.add_argument("--strategy", default="CB")
+    run.add_argument("--pipeline", action="store_true", help="software pipelining")
+    run.add_argument("--dump", action="store_true", help="print the VLIW schedule")
+    run.add_argument("--asm", action="store_true", help="DSP-style assembly listing")
+    run.add_argument("--stats", action="store_true", help="unit utilization")
+    run.set_defaults(func=cmd_run)
+
+    compare = sub.add_parser("compare", help="compare configurations")
+    compare.add_argument("workload")
+    compare.add_argument(
+        "--strategies", default="CB,CB_DUP,IDEAL", help="comma-separated names"
+    )
+    compare.add_argument("--pipeline", action="store_true")
+    compare.set_defaults(func=cmd_compare)
+
+    for name, func in (
+        ("figure7", cmd_figure7),
+        ("figure8", cmd_figure8),
+        ("table3", cmd_table3),
+    ):
+        sub.add_parser(name, help="regenerate paper %s" % name).set_defaults(
+            func=func
+        )
+
+    report = sub.add_parser(
+        "report", help="full reproduced evaluation as markdown"
+    )
+    report.set_defaults(func=cmd_report)
+
+    graph = sub.add_parser(
+        "graph", help="interference graph of a workload in DOT format"
+    )
+    graph.add_argument("workload")
+    graph.set_defaults(func=cmd_graph)
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,20 @@
+"""Program analyses feeding the allocation and compaction passes."""
+
+from repro.analysis.callgraph import CallGraph, build_callgraph, find_recursion
+from repro.analysis.dependence import DepKind, DependenceGraph, build_dependence_graph
+from repro.analysis.interleaving import analyze_low_order, classify_pair, summarize
+from repro.analysis.liveness import LivenessInfo, compute_liveness
+
+__all__ = [
+    "CallGraph",
+    "DepKind",
+    "DependenceGraph",
+    "LivenessInfo",
+    "analyze_low_order",
+    "build_callgraph",
+    "build_dependence_graph",
+    "classify_pair",
+    "compute_liveness",
+    "find_recursion",
+    "summarize",
+]

@@ -1,0 +1,107 @@
+"""Call-graph construction and recursion detection.
+
+The back end assumes a non-recursive call structure: hardware-loop
+records are matched by static instruction addresses and the register
+allocator runs per function, so recursive activations are rejected at
+validation time rather than miscompiled.  (Paper-era DSP code is
+non-recursive for the same reasons — bounded stacks and static frames.)
+"""
+
+from repro.ir.operations import OpCode
+
+
+class CallGraph:
+    """Who calls whom, with call-site counts."""
+
+    def __init__(self, edges, counts):
+        #: caller name -> set of callee names
+        self.edges = edges
+        #: (caller, callee) -> number of call sites
+        self.counts = counts
+
+    def callees(self, name):
+        return sorted(self.edges.get(name, ()))
+
+    def callers(self, name):
+        return sorted(
+            caller for caller, callees in self.edges.items() if name in callees
+        )
+
+    def call_sites(self, caller, callee):
+        return self.counts.get((caller, callee), 0)
+
+    def reachable_from(self, root="main"):
+        """Functions reachable from *root*, including it."""
+        seen = set()
+        stack = [root]
+        while stack:
+            name = stack.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            stack.extend(self.edges.get(name, ()))
+        return seen
+
+    def topological_order(self):
+        """Callees-first ordering; raises on recursion."""
+        cycle = find_recursion(self)
+        if cycle:
+            raise ValueError("recursive call chain: %s" % " -> ".join(cycle))
+        order = []
+        visited = set()
+
+        def visit(name):
+            if name in visited:
+                return
+            visited.add(name)
+            for callee in sorted(self.edges.get(name, ())):
+                visit(callee)
+            order.append(name)
+
+        for name in sorted(self.edges):
+            visit(name)
+        return order
+
+
+def build_callgraph(module):
+    """Build the :class:`CallGraph` of *module*."""
+    edges = {name: set() for name in module.functions}
+    counts = {}
+    for name, function in module.functions.items():
+        for op in function.operations():
+            if op.opcode is OpCode.CALL:
+                edges[name].add(op.callee)
+                key = (name, op.callee)
+                counts[key] = counts.get(key, 0) + 1
+    return CallGraph(edges, counts)
+
+
+def find_recursion(callgraph):
+    """Return one recursive call chain as a list of names, or None."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {name: WHITE for name in callgraph.edges}
+    stack = []
+
+    def visit(name):
+        color[name] = GRAY
+        stack.append(name)
+        for callee in sorted(callgraph.edges.get(name, ())):
+            if callee not in color:
+                continue
+            if color[callee] == GRAY:
+                start = stack.index(callee)
+                return stack[start:] + [callee]
+            if color[callee] == WHITE:
+                cycle = visit(callee)
+                if cycle:
+                    return cycle
+        stack.pop()
+        color[name] = BLACK
+        return None
+
+    for name in sorted(callgraph.edges):
+        if color[name] == WHITE:
+            cycle = visit(name)
+            if cycle:
+                return cycle
+    return None

@@ -1,0 +1,94 @@
+"""Would low-order interleaving solve the same-array cases?
+
+Paper Section 3.2 weighs three fixes for simultaneous accesses to one
+array and dismisses low-order interleaving first: with consecutive
+addresses alternating between banks, ``signal[n]`` and ``signal[n+m]``
+land in different banks *only when m is odd* — "low-order interleaving
+does not provide a general solution for such situations."
+
+This analysis makes that argument checkable on real programs: for every
+same-array blocked pair the interference-graph builder recorded, it
+classifies whether low-order interleaving would serve the pair.
+
+==========  =========================================================
+verdict     meaning
+==========  =========================================================
+``works``   address difference is a compile-time odd constant
+``fails``   address difference is a compile-time even constant
+``unknown`` the difference is not a compile-time constant (the
+            paper's autocorrelation: the lag ``m`` is a loop index)
+==========  =========================================================
+"""
+
+from repro.ir.values import Immediate, is_register
+
+
+class PairVerdict:
+    """One same-array pair and whether low-order interleaving helps."""
+
+    def __init__(self, symbol, verdict, difference=None):
+        self.symbol = symbol
+        self.verdict = verdict
+        #: compile-time address difference, when known
+        self.difference = difference
+
+    def __repr__(self):
+        extra = "" if self.difference is None else " diff=%d" % self.difference
+        return "<PairVerdict %s %s%s>" % (self.symbol.name, self.verdict, extra)
+
+
+def _address_parts(op):
+    """(base_register_or_None, constant_part) of a memory address."""
+    index = op.index_operand()
+    offset = op.offset_operand()
+    constant = 0
+    base = None
+    if isinstance(index, Immediate):
+        constant += index.value
+    elif is_register(index):
+        base = index
+    if offset is not None:
+        if isinstance(offset, Immediate):
+            constant += offset.value
+        else:
+            return None, None  # register offset: give up
+    return base, constant
+
+
+def classify_pair(op_a, op_b):
+    """Verdict for one pair of same-array accesses."""
+    base_a, const_a = _address_parts(op_a)
+    base_b, const_b = _address_parts(op_b)
+    if const_a is None or const_b is None:
+        return "unknown", None
+    if base_a is not base_b:
+        # Different (or one missing) base registers: the runtime
+        # difference is not a compile-time constant.
+        if base_a is None and base_b is None:
+            difference = const_b - const_a
+            return ("works" if difference % 2 else "fails"), difference
+        return "unknown", None
+    difference = const_b - const_a
+    return ("works" if difference % 2 else "fails"), difference
+
+
+def analyze_low_order(graph):
+    """Classify every recorded same-array pair of *graph*.
+
+    Returns a list of :class:`PairVerdict`.  If any pair is ``fails`` or
+    ``unknown``, low-order interleaving is not a general substitute for
+    duplication on this program — the paper's conclusion.
+    """
+    verdicts = []
+    for symbol, op_a, op_b in graph.duplication_pairs:
+        verdict, difference = classify_pair(op_a, op_b)
+        verdicts.append(PairVerdict(symbol, verdict, difference))
+    return verdicts
+
+
+def summarize(verdicts):
+    """Count verdicts: {'works': n, 'fails': n, 'unknown': n}."""
+    counts = {"works": 0, "fails": 0, "unknown": 0}
+    for verdict in verdicts:
+        counts[verdict.verdict] += 1
+    return counts

@@ -1,0 +1,11 @@
+"""Compiler back-end: list scheduling, register allocation, code emission.
+
+The pass order follows the paper's optimizing back-end: the data-allocation
+pass (:mod:`repro.partition`) runs first and tags every memory operation
+with the bank that stores its data; the operation-compaction pass then
+packs operations into long (VLIW) instructions using those tags.
+"""
+
+from repro.compiler.pipeline import CompileOptions, compile_module
+
+__all__ = ["CompileOptions", "compile_module"]

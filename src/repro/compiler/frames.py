@@ -1,0 +1,141 @@
+"""Dual program stacks: frame layout and callee save/restore.
+
+To allow parallel accesses to local variables, the compiler maintains two
+program stacks — one per memory bank, each with its own stack pointer
+(paper Section 3.1).  A function's frame is therefore a pair of regions,
+one on each stack; local symbols are placed at offsets within the region
+of their assigned bank.
+
+Duplicated locals are allocated *first* so that the same offset addresses
+the variable on both stacks (paper Section 3.2), and callee save/restore
+operations are dealt to alternating banks so that register saves and
+restores pair up into single long instructions.
+"""
+
+from repro.compiler.regalloc import ALLOCATABLE, phys
+from repro.ir.operations import OpCode, Operation
+from repro.ir.symbols import MemoryBank, Storage, Symbol
+from repro.ir.types import DataType, RegClass
+from repro.ir.values import Immediate
+
+
+class FrameLayout:
+    """Per-function frame metadata consumed by the simulator."""
+
+    def __init__(self, function_name):
+        self.function_name = function_name
+        #: words of frame on the X / Y stacks
+        self.size_x = 0
+        self.size_y = 0
+        #: symbol name -> (bank, offset); duplicated locals appear with
+        #: bank BOTH and a single offset valid on both stacks
+        self.offsets = {}
+
+    def place(self, symbol, bank, offset):
+        self.offsets[symbol.name] = (bank, offset)
+
+    def offset_of(self, symbol_name):
+        return self.offsets[symbol_name]
+
+    def __repr__(self):
+        return "<FrameLayout %s X=%d Y=%d>" % (
+            self.function_name,
+            self.size_x,
+            self.size_y,
+        )
+
+
+def layout_frame(function):
+    """Assign every local symbol a (bank, offset) within the frame."""
+    layout = FrameLayout(function.name)
+    locals_ = function.local_symbols()
+    duplicated = [s for s in locals_ if s.bank is MemoryBank.BOTH]
+    x_only = [s for s in locals_ if s.bank is MemoryBank.X]
+    y_only = [s for s in locals_ if s.bank is MemoryBank.Y]
+
+    offset_x = 0
+    offset_y = 0
+    # Duplicated locals first, at identical offsets on both stacks.
+    for symbol in duplicated:
+        common = max(offset_x, offset_y)
+        layout.place(symbol, MemoryBank.BOTH, common)
+        offset_x = common + symbol.size
+        offset_y = common + symbol.size
+    for symbol in x_only:
+        layout.place(symbol, MemoryBank.X, offset_x)
+        offset_x += symbol.size
+    for symbol in y_only:
+        layout.place(symbol, MemoryBank.Y, offset_y)
+        offset_y += symbol.size
+    layout.size_x = offset_x
+    layout.size_y = offset_y
+    return layout
+
+
+def insert_save_restore(function, record, dual_stacks):
+    """Insert callee save/restore code for the registers *function* writes.
+
+    ``record`` is the :class:`~repro.compiler.regalloc.AllocationRecord`.
+    Saves go at the top of the entry block; restores immediately before
+    every RET.  Successive save slots alternate between the X and Y banks
+    when dual stacks are enabled, exposing store/store (and load/load)
+    parallelism to the compaction pass.
+
+    ``main`` has no caller, so it saves nothing.
+    """
+    if function.name == "main":
+        return []
+    to_save = []
+    for rclass in (RegClass.ADDR, RegClass.INT, RegClass.FLOAT):
+        for number in sorted(record.written[rclass]):
+            if number in ALLOCATABLE:
+                to_save.append(phys(rclass, number))
+    if not to_save:
+        return []
+
+    slots = []
+    saves = []
+    restores = []
+    zero = Immediate(0, DataType.INT)
+    for position, reg in enumerate(to_save):
+        bank = (
+            MemoryBank.X
+            if (not dual_stacks or position % 2 == 0)
+            else MemoryBank.Y
+        )
+        slot = Symbol(
+            "__save_%s%d" % (reg.rclass.name.lower(), reg.physical),
+            data_type=reg.data_type,
+            size=1,
+            storage=Storage.LOCAL,
+        )
+        slot.bank = bank
+        function.add_symbol(slot)
+        slots.append(slot)
+        saves.append(
+            Operation(
+                OpCode.STORE, sources=(reg, zero), symbol=slot, bank=bank
+            )
+        )
+        restores.append(
+            Operation(OpCode.LOAD, dest=reg, sources=(zero,), symbol=slot, bank=bank)
+        )
+
+    function.blocks[0].ops[:0] = saves
+    for block in function.blocks:
+        new_ops = []
+        for op in block.ops:
+            if op.opcode is OpCode.RET:
+                new_ops.extend(
+                    Operation(
+                        OpCode.LOAD,
+                        dest=r.dest,
+                        sources=r.sources,
+                        symbol=r.symbol,
+                        bank=r.bank,
+                    )
+                    for r in restores
+                )
+            new_ops.append(op)
+        block.ops = new_ops
+    return slots

@@ -1,0 +1,52 @@
+"""Static data layout: placing global symbols at bank addresses.
+
+Each bank has its own independent word-addressed space.  Duplicated
+globals are allocated *before* other globals so the same address accesses
+either copy (paper Section 3.2); then X-resident and Y-resident globals
+follow in their banks.
+"""
+
+from repro.ir.symbols import MemoryBank
+
+
+class DataLayout:
+    """Addresses of global symbols, plus total static sizes per bank."""
+
+    def __init__(self):
+        #: symbol name -> (bank, address); duplicated symbols have bank
+        #: BOTH and one address valid in both banks
+        self.addresses = {}
+        self.data_size_x = 0
+        self.data_size_y = 0
+
+    def address_of(self, symbol_name):
+        return self.addresses[symbol_name]
+
+    def __repr__(self):
+        return "<DataLayout X=%d Y=%d words>" % (self.data_size_x, self.data_size_y)
+
+
+def layout_globals(module):
+    """Compute the :class:`DataLayout` for *module*'s globals."""
+    layout = DataLayout()
+    symbols = list(module.globals)
+    duplicated = [s for s in symbols if s.bank is MemoryBank.BOTH]
+    x_only = [s for s in symbols if s.bank is MemoryBank.X]
+    y_only = [s for s in symbols if s.bank is MemoryBank.Y]
+
+    address_x = 0
+    address_y = 0
+    for symbol in duplicated:
+        common = max(address_x, address_y)
+        layout.addresses[symbol.name] = (MemoryBank.BOTH, common)
+        address_x = common + symbol.size
+        address_y = common + symbol.size
+    for symbol in x_only:
+        layout.addresses[symbol.name] = (MemoryBank.X, address_x)
+        address_x += symbol.size
+    for symbol in y_only:
+        layout.addresses[symbol.name] = (MemoryBank.Y, address_y)
+        address_y += symbol.size
+    layout.data_size_x = address_x
+    layout.data_size_y = address_y
+    return layout

@@ -1,0 +1,65 @@
+"""Machine-independent cleanup: dead-code elimination.
+
+The DSL's lowering is careful (destination hints, hoisted constants,
+induction reduction), but dead operations can still arise — an unused
+loop index's initialization, a value computed for a branch arm that
+every path overwrites, or user-level scaffolding.  This pass removes
+side-effect-free operations whose results are never read.
+
+It is conservative and function-global: a register counts as *used* if
+any operation anywhere in the function reads it (control-flow paths are
+not analyzed), so no live value can ever be removed.  Memory and control
+operations are never candidates.
+
+Enabled with ``CompileOptions(optimize=True)``; it runs after the
+data-allocation pass (removal never changes bank decisions already
+made — the paper's pass order computes allocation from the optimized
+stream, and our builders emit effectively dead-code-free IR, so the
+default stays off to keep measured configurations exactly reproducible).
+"""
+
+from repro.ir.operations import OpKind
+
+
+def _is_removable(op):
+    return (
+        op.info.kind is OpKind.COMPUTE
+        and op.dest is not None
+    )
+
+
+def eliminate_dead_code(module):
+    """Remove dead computations from every function of *module*.
+
+    Returns the total number of operations removed.
+    """
+    removed_total = 0
+    for function in module.functions.values():
+        removed_total += _eliminate_in_function(function)
+    return removed_total
+
+
+def _eliminate_in_function(function):
+    removed_total = 0
+    while True:
+        use_counts = {}
+        for op in function.operations():
+            for reg in op.reads():
+                use_counts[reg] = use_counts.get(reg, 0) + 1
+
+        removed_this_round = 0
+        for block in function.blocks:
+            kept = []
+            for op in block.ops:
+                if _is_removable(op):
+                    uses = use_counts.get(op.dest, 0)
+                    # FMAC reads its own destination; discount self-reads.
+                    self_reads = sum(1 for r in op.reads() if r is op.dest)
+                    if uses - self_reads == 0:
+                        removed_this_round += 1
+                        continue
+                kept.append(op)
+            block.ops = kept
+        removed_total += removed_this_round
+        if removed_this_round == 0:
+            return removed_total

@@ -1,0 +1,140 @@
+"""The compiler driver: allocation -> register allocation -> compaction.
+
+``compile_module`` reproduces the paper's back-end pass order:
+
+1. validate the incoming operation stream;
+2. run the **data-allocation pass** (:mod:`repro.partition`) under the
+   chosen strategy, tagging every memory operation with a bank;
+3. allocate registers (linear scan; orthogonal to banks, paper Section 2)
+   and insert callee save/restore on alternating banks;
+4. lay out stack frames (dual stacks) and global data (per-bank spaces);
+5. run the **operation-compaction pass** per basic block, emitting long
+   instructions, and assemble them into a flat
+   :class:`~repro.machine.instruction.MachineProgram`.
+"""
+
+from repro.compiler.compaction import compact_block
+from repro.compiler.frames import insert_save_restore, layout_frame
+from repro.compiler.layout import layout_globals
+from repro.compiler.regalloc import allocate_registers
+from repro.ir.validate import validate_module
+from repro.machine.instruction import MachineProgram
+from repro.partition.strategies import Strategy, run_allocation
+
+
+class CompileOptions:
+    """Knobs for :func:`compile_module`."""
+
+    def __init__(
+        self,
+        strategy=Strategy.CB,
+        profile_counts=None,
+        interrupt_safe=True,
+        validate=True,
+        software_pipelining=False,
+        optimize=False,
+        unroll_factor=1,
+    ):
+        self.strategy = strategy
+        self.profile_counts = profile_counts
+        self.interrupt_safe = interrupt_safe
+        self.validate = validate
+        #: Run dead-code elimination before register allocation.
+        self.optimize = optimize
+        #: Replicate eligible inner-loop bodies this many times.
+        self.unroll_factor = unroll_factor
+        #: Pre-load inner-loop operands across iterations (paper Figure 1
+        #: style).  Off by default: the paper's measured configurations
+        #: use the plain compaction schedule.
+        self.software_pipelining = software_pipelining
+
+
+class CompileResult:
+    """A compiled program plus the decisions that produced it."""
+
+    def __init__(self, program, allocation, register_records, pipelining=None):
+        self.program = program
+        #: the :class:`~repro.partition.strategies.AllocationResult`
+        self.allocation = allocation
+        #: function name -> :class:`~repro.compiler.regalloc.AllocationRecord`
+        self.register_records = register_records
+        #: :class:`~repro.compiler.pipelining.PipelineReport` or None
+        self.pipelining = pipelining
+
+    @property
+    def code_size(self):
+        return self.program.size
+
+
+def compile_module(module, options=None, **kwargs):
+    """Compile *module*; returns a :class:`CompileResult`.
+
+    Either pass a :class:`CompileOptions` or keyword arguments accepted by
+    its constructor.  The module is consumed: compile each freshly built
+    module exactly once.
+    """
+    if options is None:
+        options = CompileOptions(**kwargs)
+    elif kwargs:
+        raise TypeError("pass either options or keyword arguments, not both")
+
+    if options.validate:
+        validate_module(module)
+
+    allocation = run_allocation(
+        module,
+        options.strategy,
+        profile_counts=options.profile_counts,
+        interrupt_safe=options.interrupt_safe,
+    )
+    dual_stacks = options.strategy is not Strategy.SINGLE_BANK
+
+    if options.unroll_factor > 1:
+        from repro.compiler.unroll import unroll_inner_loops
+
+        unroll_inner_loops(module, options.unroll_factor)
+
+    pipelining = None
+    if options.software_pipelining:
+        from repro.compiler.pipelining import pipeline_inner_loops
+
+        pipelining = pipeline_inner_loops(module)
+
+    if options.optimize:
+        from repro.compiler.optimize import eliminate_dead_code
+
+        eliminate_dead_code(module)
+
+    register_records = {}
+    ordered = [module.main] + [
+        f for name, f in module.functions.items() if name != "main"
+    ]
+    for function in ordered:
+        record = allocate_registers(function, module, dual_stacks)
+        insert_save_restore(function, record, dual_stacks)
+        register_records[function.name] = record
+
+    program = MachineProgram()
+    program.module = module
+    program.layout = layout_globals(module)
+
+    loop_starts = {}
+    for function in ordered:
+        program.function_entries[function.name] = len(program.instructions)
+        for block in function.blocks:
+            program.labels[block.label] = len(program.instructions)
+            if block.hw_loop is not None and block.hw_loop not in loop_starts:
+                loop_starts[block.hw_loop] = len(program.instructions)
+            program.instructions.extend(
+                compact_block(block, dual_ported=allocation.dual_ported)
+            )
+        program.frames[function.name] = layout_frame(function)
+
+    for index, instruction in enumerate(program.instructions):
+        for loop_id in instruction.loop_ends:
+            start = loop_starts.get(loop_id)
+            if start is None:
+                raise RuntimeError("LOOP_END without body for %r" % loop_id)
+            program.loops[loop_id] = (start, index)
+
+    return CompileResult(program, allocation, register_records, pipelining)

@@ -1,0 +1,5 @@
+"""First-order memory cost model of paper Section 4.2."""
+
+from repro.cost.model import CostModel, CostReport, TradeoffRow, tradeoff_row
+
+__all__ = ["CostModel", "CostReport", "TradeoffRow", "tradeoff_row"]

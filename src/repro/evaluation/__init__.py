@@ -1,0 +1,30 @@
+"""Evaluation harness regenerating the paper's Figures 7-8 and Table 3."""
+
+from repro.evaluation.runner import (
+    Measurement,
+    WorkloadEvaluation,
+    evaluate_workload,
+)
+from repro.evaluation.figures import figure7, figure8
+from repro.evaluation.tables import table3
+from repro.evaluation.sweeps import duplication_crossover, kernel_size_sweep, sweep
+from repro.evaluation.reporting import (
+    render_figure7,
+    render_figure8,
+    render_table3,
+)
+
+__all__ = [
+    "Measurement",
+    "WorkloadEvaluation",
+    "evaluate_workload",
+    "figure7",
+    "figure8",
+    "duplication_crossover",
+    "kernel_size_sweep",
+    "render_figure7",
+    "render_figure8",
+    "render_table3",
+    "sweep",
+    "table3",
+]

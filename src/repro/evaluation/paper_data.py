@@ -1,0 +1,138 @@
+"""The paper's published numbers, for side-by-side comparison.
+
+Table 3 is reproduced verbatim from the paper.  Figures 7 and 8 are bar
+charts without printed values, so only the ranges and per-benchmark facts
+stated in the text are encoded.
+"""
+
+#: Paper Table 3: application -> {config: (PG, CI, PCR)}.
+PAPER_TABLE3 = {
+    "adpcm": {
+        "FullDup": (1.03, 1.30, 0.79),
+        "Dup": (1.03, 0.99, 1.04),
+        "CB": (1.03, 0.99, 1.04),
+        "Ideal": (1.03, 0.99, 1.04),
+    },
+    "lpc": {
+        "FullDup": (1.33, 1.56, 0.85),
+        "Dup": (1.34, 1.12, 1.20),
+        "CB": (1.03, 0.99, 1.04),
+        "Ideal": (1.36, 0.99, 1.38),
+    },
+    "spectral": {
+        "FullDup": (1.09, 1.28, 0.86),
+        "Dup": (1.06, 1.05, 1.01),
+        "CB": (1.09, 0.98, 1.11),
+        "Ideal": (1.14, 0.98, 1.16),
+    },
+    "edge_detect": {
+        "FullDup": (1.16, 1.98, 0.59),
+        "Dup": (1.15, 1.00, 1.15),
+        "CB": (1.15, 1.00, 1.15),
+        "Ideal": (1.16, 1.00, 1.16),
+    },
+    "compress": {
+        "FullDup": (1.11, 1.93, 0.58),
+        "Dup": (1.12, 1.00, 1.12),
+        "CB": (1.12, 1.00, 1.12),
+        "Ideal": (1.12, 1.00, 1.12),
+    },
+    "histogram": {
+        "FullDup": (1.00, 1.94, 0.52),
+        "Dup": (1.00, 1.00, 1.00),
+        "CB": (1.00, 1.00, 1.00),
+        "Ideal": (1.00, 1.00, 1.00),
+    },
+    "V32encode": {
+        "FullDup": (1.04, 1.35, 0.77),
+        "Dup": (1.09, 0.99, 1.10),
+        "CB": (1.08, 0.98, 1.09),
+        "Ideal": (1.11, 0.98, 1.13),
+    },
+    "G721MLencode": {
+        "FullDup": (1.00, 1.70, 0.59),
+        "Dup": (1.00, 1.00, 1.00),
+        "CB": (1.00, 1.00, 1.00),
+        "Ideal": (1.00, 1.00, 1.00),
+    },
+    "G721MLdecode": {
+        "FullDup": (1.00, 1.70, 0.59),
+        "Dup": (1.00, 1.00, 1.00),
+        "CB": (1.00, 1.00, 1.00),
+        "Ideal": (1.00, 1.00, 1.00),
+    },
+    "G721WFencode": {
+        "FullDup": (1.00, 1.70, 0.59),
+        "Dup": (1.00, 1.00, 1.00),
+        "CB": (1.00, 1.00, 1.00),
+        "Ideal": (1.00, 1.00, 1.00),
+    },
+    "trellis": {
+        "FullDup": (1.05, 1.33, 0.79),
+        "Dup": (1.05, 0.98, 1.07),
+        "CB": (1.05, 0.98, 1.07),
+        "Ideal": (1.05, 0.98, 1.07),
+    },
+}
+
+#: Paper Table 3 arithmetic-mean row.
+PAPER_TABLE3_MEAN = {
+    "FullDup": (1.07, 1.62, 0.68),
+    "Dup": (1.08, 1.01, 1.06),
+    "CB": (1.05, 0.99, 1.06),
+    "Ideal": (1.09, 0.99, 1.10),
+}
+
+#: Facts the text states about Figure 7 (kernels).
+PAPER_FIGURE7_FACTS = {
+    "cb_gain_range": (13.0, 49.0),
+    "cb_gain_average": 29.0,
+    # CB matches Ideal for every kernel except iir_4_64, which lands
+    # three percentage points below its 34% Ideal gain.
+    "iir_4_64_cb": 31.0,
+    "iir_4_64_ideal": 34.0,
+}
+
+#: Facts the text states about Figure 8 (applications).
+PAPER_FIGURE8_FACTS = {
+    "cb_gain_range_when_possible": (3.0, 15.0),
+    "ideal_gain_range": (3.0, 36.0),
+    "zero_gain_apps": [
+        "histogram",
+        "G721MLencode",
+        "G721MLdecode",
+        "G721WFencode",
+    ],
+    "lpc": {"CB": 3.0, "Dup": 34.0, "Ideal": 36.0},
+    "spectral": {"CB": 9.0, "Ideal": 14.0},
+}
+
+#: Figure 7/8 x-axis order (paper's k1..k12 and a1..a11 labels).
+KERNEL_ORDER = [
+    "fft_1024",
+    "fft_256",
+    "fir_256_64",
+    "fir_32_1",
+    "iir_4_64",
+    "iir_1_1",
+    "latnrm_32_64",
+    "latnrm_8_1",
+    "lmsfir_32_64",
+    "lmsfir_8_1",
+    "mult_10_10",
+    "mult_4_4",
+]
+
+APPLICATION_ORDER = [
+    "adpcm",
+    "lpc",
+    "spectral",
+    "edge_detect",
+    "compress",
+    "histogram",
+    "V32encode",
+    "G721MLencode",
+    "G721MLdecode",
+    "G721WFencode",
+    "trellis",
+]

@@ -1,0 +1,147 @@
+"""ASCII rendering of the reproduced figures and table.
+
+Each renderer prints the same rows/series the paper reports, with the
+paper's own numbers alongside where the paper states them.
+"""
+
+from repro.evaluation.paper_data import PAPER_TABLE3, PAPER_TABLE3_MEAN
+from repro.evaluation.tables import TABLE3_CONFIGS
+
+
+def _bar(value, scale=1.0, width=50):
+    length = max(0, min(width, int(round(value * scale))))
+    return "#" * length
+
+
+def render_figure7(series):
+    lines = [series.title, "=" * len(series.title), ""]
+    lines.append("%-14s %8s %8s   gain over single-bank baseline" % ("kernel", "CB", "Ideal"))
+    for name in series.order:
+        cb = series.gains["CB"][name]
+        ideal = series.gains["Ideal"][name]
+        lines.append(
+            "%-14s %+7.1f%% %+7.1f%%  |%s"
+            % (name, cb, ideal, _bar(cb))
+        )
+    cb_values = series.series("CB")
+    lines.append("")
+    lines.append(
+        "CB gain range: %.1f%% .. %.1f%%, average %.1f%%  (paper: 13%%-49%%, avg 29%%)"
+        % (min(cb_values), max(cb_values), sum(cb_values) / len(cb_values))
+    )
+    return "\n".join(lines)
+
+
+def render_figure8(series):
+    lines = [series.title, "=" * len(series.title), ""]
+    header = "%-14s" % "application"
+    for label in series.labels:
+        header += " %8s" % label
+    lines.append(header)
+    for name in series.order:
+        row = "%-14s" % name
+        for label in series.labels:
+            row += " %+7.1f%%" % series.gains[label][name]
+        lines.append(row)
+    cb_positive = [
+        series.gains["CB"][n]
+        for n in series.order
+        if series.gains["Ideal"][n] > 0.5
+    ]
+    lines.append("")
+    if cb_positive:
+        lines.append(
+            "CB gain where gains are possible: %.1f%%..%.1f%% (paper: 3%%-15%%)"
+            % (min(cb_positive), max(cb_positive))
+        )
+    return "\n".join(lines)
+
+
+def render_markdown(figure7_series, figure8_series, table):
+    """One self-contained markdown report covering all three artifacts.
+
+    Useful for regenerating the core of EXPERIMENTS.md after a change:
+    ``python -m repro report > report.md``.
+    """
+    lines = ["# Reproduced evaluation", ""]
+    lines.append("## Figure 7 — kernel performance gains")
+    lines.append("")
+    lines.append("| kernel | CB | Ideal |")
+    lines.append("|---|---|---|")
+    for name in figure7_series.order:
+        lines.append(
+            "| %s | +%.1f%% | +%.1f%% |"
+            % (
+                name,
+                figure7_series.gains["CB"][name],
+                figure7_series.gains["Ideal"][name],
+            )
+        )
+    lines.append("")
+    lines.append("## Figure 8 — application performance gains")
+    lines.append("")
+    header = "| application |" + "".join(
+        " %s |" % label for label in figure8_series.labels
+    )
+    lines.append(header)
+    lines.append("|---|" + "---|" * len(figure8_series.labels))
+    for name in figure8_series.order:
+        row = "| %s |" % name
+        for label in figure8_series.labels:
+            row += " +%.1f%% |" % figure8_series.gains[label][name]
+        lines.append(row)
+    lines.append("")
+    lines.append("## Table 3 — performance/cost trade-offs")
+    lines.append("")
+    labels = [label for label, _s in TABLE3_CONFIGS]
+    lines.append(
+        "| application |"
+        + "".join(" %s PG/CI/PCR |" % label for label in labels)
+    )
+    lines.append("|---|" + "---|" * len(labels))
+    for name in table.order:
+        row = "| %s |" % name
+        for label in labels:
+            cell = table.rows[name][label]
+            row += " %.2f / %.2f / %.2f |" % (cell.pg, cell.ci, cell.pcr)
+        lines.append(row)
+    mean_row = "| **mean** |"
+    for label in labels:
+        pg, ci, pcr = table.mean(label)
+        mean_row += " %.2f / %.2f / %.2f |" % (pg, ci, pcr)
+    lines.append(mean_row)
+    return "\n".join(lines)
+
+
+def render_table3(table):
+    title = "Table 3: Performance/Cost Trade-Offs of Exploiting Dual Data-Memory Banks"
+    lines = [title, "=" * len(title), ""]
+    labels = [label for label, _s in TABLE3_CONFIGS]
+    header = "%-14s" % "application"
+    for label in labels:
+        header += " | %5s %5s %5s" % ("PG", "CI", "PCR")
+    lines.append(header + "   (columns: %s)" % ", ".join(labels))
+    for name in table.order:
+        row = "%-14s" % name
+        for label in labels:
+            cell = table.rows[name][label]
+            row += " | %5.2f %5.2f %5.2f" % (cell.pg, cell.ci, cell.pcr)
+        lines.append(row)
+        paper = PAPER_TABLE3.get(name)
+        if paper:
+            ref = "%-14s" % "  (paper)"
+            for label in labels:
+                pg, ci, pcr = paper[label]
+                ref += " | %5.2f %5.2f %5.2f" % (pg, ci, pcr)
+            lines.append(ref)
+    mean_row = "%-14s" % "Arithmetic Mean"
+    for label in labels:
+        pg, ci, pcr = table.mean(label)
+        mean_row += " | %5.2f %5.2f %5.2f" % (pg, ci, pcr)
+    lines.append(mean_row)
+    paper_mean = "%-14s" % "  (paper)"
+    for label in labels:
+        pg, ci, pcr = PAPER_TABLE3_MEAN[label]
+        paper_mean += " | %5.2f %5.2f %5.2f" % (pg, ci, pcr)
+    lines.append(paper_mean)
+    return "\n".join(lines)

@@ -1,0 +1,109 @@
+"""Compile-simulate-verify one workload under the paper's configurations.
+
+Performance is measured exactly as in the paper: cycle counts from the
+instruction-set simulator, reported as gains over the single-bank
+baseline (allocation pass disabled).  The ``Pr`` configuration profiles
+the baseline binary first and feeds block execution counts to the
+allocation pass as edge weights.
+"""
+
+from repro.compiler import compile_module
+from repro.cost.model import CostModel
+from repro.partition.strategies import Strategy
+from repro.sim.simulator import Simulator
+from repro.sim.tracing import collect_block_counts
+
+
+class Measurement:
+    """One (workload, configuration) data point."""
+
+    def __init__(self, strategy, cycles, cost, code_size, duplicated):
+        self.strategy = strategy
+        self.cycles = cycles
+        #: the :class:`~repro.cost.model.CostReport`
+        self.cost = cost
+        self.code_size = code_size
+        #: names of symbols duplicated into both banks
+        self.duplicated = duplicated
+
+    def __repr__(self):
+        return "<Measurement %s cycles=%d cost=%d>" % (
+            self.strategy.name,
+            self.cycles,
+            self.cost.total,
+        )
+
+
+class WorkloadEvaluation:
+    """All configurations of one workload, relative to its baseline."""
+
+    def __init__(self, name, category, measurements):
+        self.name = name
+        self.category = category
+        #: Strategy -> Measurement (always includes SINGLE_BANK)
+        self.measurements = measurements
+
+    @property
+    def baseline(self):
+        return self.measurements[Strategy.SINGLE_BANK]
+
+    def cycles(self, strategy):
+        return self.measurements[strategy].cycles
+
+    def gain_percent(self, strategy):
+        """Percent cycle-count improvement over the single-bank baseline,
+        the y-axis of the paper's Figures 7 and 8."""
+        return 100.0 * (self.baseline.cycles / self.cycles(strategy) - 1.0)
+
+    def performance_gain(self, strategy):
+        """PG ratio as used in paper Table 3 (1.00 = unchanged)."""
+        return self.baseline.cycles / self.cycles(strategy)
+
+    def cost_increase(self, strategy):
+        """CI ratio as used in paper Table 3 (1.00 = unchanged)."""
+        return (
+            self.measurements[strategy].cost.total / self.baseline.cost.total
+        )
+
+    def pcr(self, strategy):
+        return self.performance_gain(strategy) / self.cost_increase(strategy)
+
+
+def _run_once(workload, strategy, profile_counts=None, verify=True):
+    compiled = compile_module(
+        workload.build(), strategy=strategy, profile_counts=profile_counts
+    )
+    simulator = Simulator(compiled.program)
+    result = simulator.run()
+    if verify:
+        workload.verify(simulator)
+    cost = CostModel().measure(compiled, result)
+    duplicated = [s.name for s in compiled.allocation.duplicated]
+    return (
+        Measurement(strategy, result.cycles, cost, compiled.code_size, duplicated),
+        compiled,
+        result,
+    )
+
+
+def evaluate_workload(workload, strategies, verify=True):
+    """Measure *workload* under *strategies* (baseline always included)."""
+    measurements = {}
+    baseline, base_compiled, base_result = _run_once(
+        workload, Strategy.SINGLE_BANK, verify=verify
+    )
+    measurements[Strategy.SINGLE_BANK] = baseline
+    profile = None
+    for strategy in strategies:
+        if strategy is Strategy.SINGLE_BANK:
+            continue
+        counts = None
+        if strategy.needs_profile:
+            if profile is None:
+                profile = collect_block_counts(base_compiled.program, base_result)
+            counts = profile
+        measurement, _compiled, _result = _run_once(
+            workload, strategy, profile_counts=counts, verify=verify
+        )
+        measurements[strategy] = measurement
+    return WorkloadEvaluation(workload.name, workload.category, measurements)

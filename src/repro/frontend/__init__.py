@@ -1,0 +1,30 @@
+"""Embedded DSL front-end.
+
+The paper's compiler uses a GNU-C front-end that translates C programs into
+a stream of unpacked machine operations.  We reproduce that contract with a
+Python-embedded DSL: :class:`~repro.frontend.builder.ProgramBuilder` lets a
+benchmark author write structured code (counted loops, while loops,
+conditionals, calls, array references, scalar expressions) that lowers to
+exactly the operation stream the back-end consumes, with loop-nesting
+depths annotated on basic blocks.
+
+Example
+-------
+>>> from repro.frontend import ProgramBuilder
+>>> pb = ProgramBuilder("dot")
+>>> A = pb.global_array("A", 8, float, init=[1.0] * 8)
+>>> B = pb.global_array("B", 8, float, init=[2.0] * 8)
+>>> out = pb.global_scalar("out", float)
+>>> with pb.function("main") as f:
+...     s = f.float_var("sum")
+...     f.assign(s, 0.0)
+...     with f.loop(8) as i:
+...         f.assign(s, s + A[i] * B[i])
+...     f.assign(out[0], s)
+>>> module = pb.build()
+"""
+
+from repro.frontend.builder import FunctionBuilder, ProgramBuilder
+from repro.frontend.expressions import Expr
+
+__all__ = ["Expr", "FunctionBuilder", "ProgramBuilder"]

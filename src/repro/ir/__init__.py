@@ -1,0 +1,49 @@
+"""Intermediate representation for the dual-bank DSP compiler.
+
+The IR is a sequence of *unpacked* three-address machine operations — the
+form the paper's GNU-C front-end hands to the optimizing back-end.  Each
+operation names at most one destination virtual register, a tuple of source
+operands (virtual registers or immediates), and, for memory operations, the
+:class:`~repro.ir.symbols.Symbol` it accesses plus an index operand.
+
+Programs are organized as :class:`~repro.ir.module.Module` objects holding
+:class:`~repro.ir.function.Function` objects, each a list of
+:class:`~repro.ir.block.BasicBlock` objects annotated with loop-nesting
+depth (the edge-weight heuristic of the paper's Section 3.1).
+"""
+
+from repro.ir.types import DataType, RegClass
+from repro.ir.values import Immediate, Label, Operand, VirtualRegister
+from repro.ir.symbols import MemoryBank, Storage, Symbol, SymbolTable
+from repro.ir.operations import OpCode, Operation, UnitClass, opcode_info
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.printer import format_function, format_module, format_operation
+from repro.ir.validate import IRValidationError, validate_function, validate_module
+
+__all__ = [
+    "BasicBlock",
+    "DataType",
+    "Function",
+    "IRValidationError",
+    "Immediate",
+    "Label",
+    "MemoryBank",
+    "Module",
+    "OpCode",
+    "Operand",
+    "Operation",
+    "RegClass",
+    "Storage",
+    "Symbol",
+    "SymbolTable",
+    "UnitClass",
+    "VirtualRegister",
+    "format_function",
+    "format_module",
+    "format_operation",
+    "opcode_info",
+    "validate_function",
+    "validate_module",
+]

@@ -1,0 +1,71 @@
+"""Basic blocks: straight-line operation sequences with one entry and exit."""
+
+from repro.ir.operations import OpCode
+
+
+class BasicBlock:
+    """A labelled straight-line sequence of operations.
+
+    Attributes
+    ----------
+    label:
+        Unique block name within the function.
+    ops:
+        The unpacked operation list, in program order.  The terminator
+        (branch / return / halt), if any, is the last operation.
+    loop_depth:
+        Loop-nesting depth: 0 outside any loop, 1 inside one loop, etc.
+        This feeds the static edge-weight heuristic of paper Section 3.1.
+    hw_loop:
+        Set on the body block of a zero-overhead hardware loop; names the
+        loop so the compaction pass can mark the loop's last instruction.
+    """
+
+    def __init__(self, label, loop_depth=0):
+        self.label = label
+        self.ops = []
+        self.loop_depth = loop_depth
+        self.hw_loop = None
+        #: Execution count filled in by profiling (repro.sim.tracing).
+        self.profile_count = 0
+
+    def append(self, op):
+        self.ops.append(op)
+        return op
+
+    @property
+    def terminator(self):
+        """The block's terminating control operation, or None."""
+        if self.ops and self.ops[-1].is_terminator:
+            return self.ops[-1]
+        return None
+
+    def successor_labels(self):
+        """Labels of blocks this block may branch to (fallthrough excluded)."""
+        term = self.terminator
+        if term is None or term.target is None:
+            return []
+        return [term.target.name]
+
+    def falls_through(self):
+        """True if control may continue to the next block in layout order."""
+        term = self.terminator
+        if term is None:
+            return True
+        return term.opcode in (OpCode.BRT, OpCode.BRF)
+
+    def memory_ops(self):
+        return [op for op in self.ops if op.is_memory]
+
+    def __len__(self):
+        return len(self.ops)
+
+    def __iter__(self):
+        return iter(self.ops)
+
+    def __repr__(self):
+        return "<BasicBlock %s depth=%d ops=%d>" % (
+            self.label,
+            self.loop_depth,
+            len(self.ops),
+        )

@@ -1,0 +1,85 @@
+"""Functions: symbol scope, virtual-register factory, and block layout."""
+
+from repro.ir.block import BasicBlock
+from repro.ir.symbols import Storage, SymbolTable
+from repro.ir.types import DataType, RegClass
+from repro.ir.values import VirtualRegister
+
+
+class Function:
+    """A compiled function.
+
+    Blocks are kept in *layout order*: control falls through from one block
+    to the next unless the terminator says otherwise.  The entry block is
+    ``blocks[0]``.
+
+    Parameters are declared in order; each is a ``PARAM`` symbol bound to a
+    virtual register of the matching class.  The calling convention passes
+    arguments positionally per register class and returns values in the
+    first register of the result's class (see ``repro.compiler.regalloc``).
+    """
+
+    def __init__(self, name):
+        self.name = name
+        self.blocks = []
+        self.symbols = SymbolTable()
+        #: Parameter symbols in declaration order.
+        self.params = []
+        #: Virtual register holding each parameter, parallel to ``params``.
+        self.param_registers = []
+        self._next_reg = 0
+        self._next_label = 0
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def new_register(self, rclass, name=None):
+        reg = VirtualRegister(self._next_reg, rclass, name)
+        self._next_reg = self._next_reg + 1
+        return reg
+
+    def new_block(self, hint="bb", loop_depth=0):
+        label = "%s.%s%d" % (self.name, hint, self._next_label)
+        self._next_label = self._next_label + 1
+        block = BasicBlock(label, loop_depth)
+        self.blocks.append(block)
+        return block
+
+    def add_symbol(self, symbol):
+        symbol.function = self.name
+        self.symbols.add(symbol)
+        if symbol.storage is Storage.PARAM:
+            self.params.append(symbol)
+            rclass = (
+                RegClass.FLOAT
+                if symbol.data_type is DataType.FLOAT
+                else RegClass.INT
+            )
+            reg = self.new_register(rclass, name=symbol.name)
+            self.param_registers.append(reg)
+        return symbol
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def entry(self):
+        return self.blocks[0]
+
+    def block(self, label):
+        for blk in self.blocks:
+            if blk.label == label:
+                return blk
+        raise KeyError("no block %r in function %r" % (label, self.name))
+
+    def local_symbols(self):
+        return [s for s in self.symbols if s.storage is Storage.LOCAL]
+
+    def operations(self):
+        """All operations of the function in layout order."""
+        for blk in self.blocks:
+            for op in blk.ops:
+                yield op
+
+    def __repr__(self):
+        return "<Function %s blocks=%d>" % (self.name, len(self.blocks))

@@ -1,0 +1,204 @@
+"""A reference interpreter for the *unscheduled* IR.
+
+Executes a module exactly as the front end emitted it — sequential
+operations, virtual registers, symbol-addressed memory — with no
+allocation pass, no register allocator, no scheduler, and no machine
+model. Its sole purpose is differential testing: the full pipeline
+(bank allocation → linear scan → compaction → VLIW simulation) must
+compute exactly what this 150-line walker computes, so any divergence
+localizes a bug to the back end.
+
+Semantics mirror the machine where it matters:
+
+* ``FMAC`` reads its destination;
+* integer division truncates toward zero (the opcode evaluators are
+  shared with the simulator);
+* hardware loops latch their count at ``LOOP_BEGIN`` and skip the body
+  when it is not positive;
+* locals are per-activation; parameters arrive by position.
+
+Because operations run one at a time there is no notion of cycles here —
+only results.
+"""
+
+from repro.ir.operations import OpCode, opcode_info
+from repro.ir.symbols import Storage
+from repro.ir.values import Immediate
+
+
+class IRInterpreterError(Exception):
+    """Raised on faults: bad index, runaway execution, missing main."""
+
+
+class _Frame:
+    """One function activation: register file and local memory."""
+
+    def __init__(self, function):
+        self.function = function
+        self.registers = {}
+        self.locals = {
+            symbol.name: [symbol.data_type.zero] * symbol.size
+            for symbol in function.local_symbols()
+        }
+
+
+class IRInterpreter:
+    """Executes a module's IR; query globals afterwards like the simulator."""
+
+    def __init__(self, module, max_steps=50_000_000):
+        self.module = module
+        self.max_steps = max_steps
+        self.globals = {
+            symbol.name: self._initial(symbol) for symbol in module.globals
+        }
+        self.steps = 0
+
+    @staticmethod
+    def _initial(symbol):
+        values = [symbol.data_type.zero] * symbol.size
+        if symbol.initializer:
+            values[: len(symbol.initializer)] = list(symbol.initializer)
+        return values
+
+    # ------------------------------------------------------------------
+    def read_global(self, name):
+        values = self.globals[name]
+        return values[0] if len(values) == 1 else list(values)
+
+    def write_global(self, name, values):
+        if not isinstance(values, (list, tuple)):
+            values = [values]
+        self.globals[name][: len(values)] = list(values)
+
+    # ------------------------------------------------------------------
+    def run(self):
+        if "main" not in self.module.functions:
+            raise IRInterpreterError("module has no main")
+        self._call(self.module.main, [])
+        return self
+
+    def _memory(self, frame, symbol):
+        if symbol.storage is Storage.GLOBAL:
+            return self.globals[symbol.name]
+        return frame.locals[symbol.name]
+
+    def _value(self, frame, operand):
+        if isinstance(operand, Immediate):
+            return operand.value
+        return frame.registers.get(operand, operand.data_type.zero)
+
+    def _address(self, frame, op):
+        index = self._value(frame, op.index_operand())
+        offset = op.offset_operand()
+        if offset is not None:
+            index += self._value(frame, offset)
+        if not 0 <= index < op.symbol.size:
+            raise IRInterpreterError(
+                "index %d out of bounds for %s[%d]"
+                % (index, op.symbol.name, op.symbol.size)
+            )
+        return index
+
+    def _call(self, function, arguments):
+        frame = _Frame(function)
+        for register, value in zip(function.param_registers, arguments):
+            frame.registers[register] = value
+        blocks = function.blocks
+        index_of = {block.label: i for i, block in enumerate(blocks)}
+        block_index = 0
+        op_index = 0
+        loop_stack = []  # [block_index, op_index, remaining]
+
+        while True:
+            self.steps += 1
+            if self.steps > self.max_steps:
+                raise IRInterpreterError("exceeded max_steps")
+            if block_index >= len(blocks):
+                return None  # fell off a (main) function
+            block = blocks[block_index]
+            if op_index >= len(block.ops):
+                block_index += 1
+                op_index = 0
+                continue
+            op = block.ops[op_index]
+            opcode = op.opcode
+            advance = True
+
+            if opcode is OpCode.LOAD:
+                memory = self._memory(frame, op.symbol)
+                frame.registers[op.dest] = memory[self._address(frame, op)]
+            elif opcode is OpCode.STORE:
+                memory = self._memory(frame, op.symbol)
+                if not op.shadow:
+                    memory[self._address(frame, op)] = self._value(
+                        frame, op.sources[0]
+                    )
+            elif opcode is OpCode.FMAC:
+                acc = self._value(frame, op.dest)
+                frame.registers[op.dest] = acc + self._value(
+                    frame, op.sources[0]
+                ) * self._value(frame, op.sources[1])
+            elif opcode is OpCode.CALL:
+                callee = self.module.functions[op.callee]
+                arguments = [self._value(frame, s) for s in op.sources]
+                result = self._call(callee, arguments)
+                if op.dest is not None:
+                    frame.registers[op.dest] = result
+            elif opcode is OpCode.RET:
+                return self._value(frame, op.sources[0]) if op.sources else None
+            elif opcode is OpCode.HALT:
+                return None
+            elif opcode is OpCode.BR:
+                block_index = index_of[op.target.name]
+                op_index = 0
+                advance = False
+            elif opcode in (OpCode.BRT, OpCode.BRF):
+                taken = bool(self._value(frame, op.sources[0]))
+                if opcode is OpCode.BRF:
+                    taken = not taken
+                if taken:
+                    block_index = index_of[op.target.name]
+                    op_index = 0
+                    advance = False
+            elif opcode is OpCode.LOOP_BEGIN:
+                count = self._value(frame, op.sources[0])
+                if count <= 0:
+                    block_index, op_index = self._skip_loop(
+                        function, op.target.name, index_of
+                    )
+                    advance = False
+                else:
+                    loop_stack.append([block_index + 1, op.target.name, count])
+            elif opcode is OpCode.LOOP_END:
+                record = loop_stack[-1]
+                if op.target.name != record[1]:
+                    raise IRInterpreterError(
+                        "mismatched LOOP_END %s" % op.target.name
+                    )
+                record[2] -= 1
+                if record[2] > 0:
+                    block_index = record[0]
+                    op_index = 0
+                    advance = False
+                else:
+                    loop_stack.pop()
+            elif opcode is OpCode.NOP:
+                pass
+            else:
+                info = opcode_info(opcode)
+                if info.evaluate is None:
+                    raise IRInterpreterError("cannot interpret %s" % opcode.name)
+                values = [self._value(frame, s) for s in op.sources]
+                frame.registers[op.dest] = info.evaluate(*values)
+
+            if advance:
+                op_index += 1
+
+    @staticmethod
+    def _skip_loop(function, loop_id, index_of):
+        """Position just after the LOOP_END of *loop_id*."""
+        for b_index, block in enumerate(function.blocks):
+            for o_index, op in enumerate(block.ops):
+                if op.opcode is OpCode.LOOP_END and op.target.name == loop_id:
+                    return b_index, o_index + 1
+        raise IRInterpreterError("no LOOP_END for %s" % loop_id)

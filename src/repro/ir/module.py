@@ -1,0 +1,57 @@
+"""Modules: a whole program — functions plus global symbols."""
+
+from repro.ir.symbols import Storage, SymbolTable
+
+
+class Module:
+    """A complete program handed to the compiler back-end.
+
+    Execution starts at the function named ``main`` and stops at its
+    ``HALT`` terminator.
+    """
+
+    def __init__(self, name):
+        self.name = name
+        self.functions = {}
+        self.globals = SymbolTable()
+
+    def add_function(self, function):
+        if function.name in self.functions:
+            raise ValueError("duplicate function %r" % function.name)
+        self.functions[function.name] = function
+        return function
+
+    def add_global(self, symbol):
+        if symbol.storage is not Storage.GLOBAL:
+            raise ValueError("module-level symbol %r must be GLOBAL" % symbol.name)
+        return self.globals.add(symbol)
+
+    def function(self, name):
+        return self.functions[name]
+
+    @property
+    def main(self):
+        return self.functions["main"]
+
+    def all_symbols(self):
+        """Every data symbol in the program: globals then locals."""
+        symbols = list(self.globals)
+        for func in self.functions.values():
+            symbols.extend(func.local_symbols())
+        return symbols
+
+    def partitionable_symbols(self):
+        """The symbols the data-allocation pass may place."""
+        return [s for s in self.all_symbols() if s.is_partitionable]
+
+    def operations(self):
+        for func in self.functions.values():
+            for op in func.operations():
+                yield op
+
+    def __repr__(self):
+        return "<Module %s functions=%d globals=%d>" % (
+            self.name,
+            len(self.functions),
+            len(self.globals),
+        )

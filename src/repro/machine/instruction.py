@@ -1,0 +1,97 @@
+"""Long (VLIW) instructions and assembled machine programs."""
+
+from repro.machine.resources import ALL_UNITS
+
+
+class LongInstruction:
+    """One VLIW instruction: at most one operation per functional unit.
+
+    ``loop_ends`` lists the hardware-loop identifiers whose final body
+    instruction this is; the simulator performs the zero-overhead back-edge
+    test after executing such an instruction.
+    """
+
+    __slots__ = ("slots", "loop_ends", "block_label")
+
+    def __init__(self, block_label=None):
+        self.slots = {}
+        self.loop_ends = []
+        self.block_label = block_label
+
+    def add(self, unit, op):
+        if unit in self.slots:
+            raise ValueError("unit %s already occupied" % unit.name)
+        self.slots[unit] = op
+
+    def unit_free(self, unit):
+        return unit not in self.slots
+
+    @property
+    def ops(self):
+        return list(self.slots.values())
+
+    def __len__(self):
+        return len(self.slots)
+
+    def __iter__(self):
+        return iter(self.slots.items())
+
+    def __repr__(self):
+        parts = []
+        for unit in ALL_UNITS:
+            if unit in self.slots:
+                from repro.ir.printer import format_operation
+
+                parts.append("%s: %s" % (unit.name, format_operation(self.slots[unit])))
+        if self.loop_ends:
+            parts.append("loop_end(%s)" % ",".join(self.loop_ends))
+        return "{ " + " | ".join(parts) + " }"
+
+
+class MachineProgram:
+    """A fully scheduled program, ready for the instruction-set simulator.
+
+    Attributes
+    ----------
+    instructions:
+        Flat list of :class:`LongInstruction`, all functions concatenated.
+    function_entries:
+        Function name -> index of its first instruction.
+    labels:
+        Block label -> instruction index of the block's first instruction.
+    loops:
+        Hardware-loop id -> ``(start_index, end_index)``.
+    frames:
+        Function name -> its :class:`~repro.compiler.frames.FrameLayout`.
+    layout:
+        The :class:`~repro.compiler.layout.DataLayout` of global symbols.
+    """
+
+    def __init__(self):
+        self.instructions = []
+        self.function_entries = {}
+        self.labels = {}
+        self.loops = {}
+        self.frames = {}
+        self.layout = None
+        self.module = None
+
+    @property
+    def size(self):
+        """Static code size in instruction words (1 word per instruction)."""
+        return len(self.instructions)
+
+    def dump(self):
+        """Multi-line disassembly listing."""
+        index_to_label = {}
+        for label, index in self.labels.items():
+            index_to_label.setdefault(index, []).append(label)
+        lines = []
+        for i, instr in enumerate(self.instructions):
+            for label in index_to_label.get(i, []):
+                lines.append("%s:" % label)
+            lines.append("  %4d  %r" % (i, instr))
+        return "\n".join(lines)
+
+    def __len__(self):
+        return len(self.instructions)

@@ -1,0 +1,138 @@
+"""Data duplication transforms (paper Section 3.2).
+
+*Partial* duplication replicates only the symbols that the interference
+graph marked as being accessed twice in a potentially-parallel pair.
+*Full* duplication replicates every partitionable symbol, which the paper
+evaluates as a costly straw man (Table 3).
+
+For every duplicated symbol:
+
+* loads are tagged ``MemoryBank.BOTH`` so the compaction pass may serve
+  them from whichever memory unit is free;
+* every store gets a *shadow* store that writes the Y-bank copy, keeping
+  both copies coherent.  For stack-resident locals, an additional address
+  operation computes the second stack's location (the paper's "additional
+  stack operation"), feeding the shadow store's index;
+* when ``interrupt_safe`` is set, the primary store locks interrupts and
+  the shadow store unlocks them (the paper's store-lock / store-unlock
+  pair), so an injected interrupt can never observe the copies out of
+  sync — :mod:`repro.sim.interrupts` exercises this.
+"""
+
+from repro.ir.operations import OpCode, Operation
+from repro.ir.symbols import MemoryBank, Storage
+from repro.ir.types import RegClass
+from repro.ir.values import Immediate
+
+
+def _expand_store(function, op, interrupt_safe):
+    """Expand one store to a duplicated symbol into its coherent pair."""
+    symbol = op.symbol
+    value = op.sources[0]
+    index = op.sources[1]
+    offset = op.sources[2] if len(op.sources) > 2 else None
+    op.bank = MemoryBank.X
+    op.locked = interrupt_safe
+    new_ops = [op]
+    shadow_index = index
+    if symbol.storage is Storage.LOCAL:
+        # The second copy lives on the other stack: one extra address
+        # operation computes its location.
+        addr = function.new_register(RegClass.ADDR)
+        if isinstance(index, Immediate):
+            new_ops.append(Operation(OpCode.ACONST, dest=addr, sources=(index,)))
+        else:
+            new_ops.append(Operation(OpCode.AMOV, dest=addr, sources=(index,)))
+        shadow_index = addr
+    shadow_sources = (
+        (value, shadow_index)
+        if offset is None
+        else (value, shadow_index, offset)
+    )
+    shadow = Operation(
+        OpCode.STORE,
+        sources=shadow_sources,
+        symbol=symbol,
+        bank=MemoryBank.Y,
+        locked=interrupt_safe,
+        shadow=True,
+    )
+    new_ops.append(shadow)
+    return new_ops
+
+
+def _apply_duplication(module, symbols, interrupt_safe):
+    chosen = [s for s in symbols if s.is_partitionable]
+    for symbol in chosen:
+        symbol.bank = MemoryBank.BOTH
+        symbol.duplicated = True
+    chosen_ids = {id(s) for s in chosen}
+    for function in module.functions.values():
+        for block in function.blocks:
+            if not any(
+                op.is_store and id(op.symbol) in chosen_ids for op in block.ops
+            ):
+                continue
+            new_ops = []
+            for op in block.ops:
+                if op.is_store and id(op.symbol) in chosen_ids:
+                    new_ops.extend(_expand_store(function, op, interrupt_safe))
+                else:
+                    new_ops.append(op)
+            block.ops = new_ops
+    return chosen
+
+
+def duplicate_symbols(module, symbols, interrupt_safe=True):
+    """Partial data duplication: replicate *symbols* into both banks.
+
+    Returns the symbols actually duplicated (non-partitionable symbols are
+    skipped).  Stores to the chosen symbols are rewritten in place.
+    """
+    return _apply_duplication(module, symbols, interrupt_safe)
+
+
+def full_duplication_symbols(module, interrupt_safe=True):
+    """Full duplication: replicate every partitionable symbol."""
+    return _apply_duplication(
+        module, module.partitionable_symbols(), interrupt_safe
+    )
+
+
+def estimate_store_penalty(module, symbol, weights):
+    """Estimated per-run cost of keeping *symbol*'s copies coherent.
+
+    Every store to a duplicated symbol gains an integrity store (plus a
+    stack-address operation for locals); each may cost up to one cycle
+    when the compaction pass cannot hide it.  The estimate sums the
+    weight-policy value of each store's block — the same currency the
+    duplication benefit is accumulated in.
+    """
+    penalty = 0
+    for function in module.functions.values():
+        for block in function.blocks:
+            for op in block.ops:
+                if op.is_store and op.symbol is symbol:
+                    penalty += weights.weight(block)
+    return penalty
+
+
+def select_beneficial(module, graph, weights):
+    """The paper's suggested refinement (Section 5): duplicate only the
+    candidates whose estimated parallel-access benefit exceeds their
+    integrity-store penalty.
+
+    Returns the selected subset of ``graph.duplication_candidates``, with
+    a per-candidate decision log in the second return value:
+    ``[(symbol, benefit, penalty, selected), ...]``.
+    """
+    selected = []
+    decisions = []
+    for symbol in graph.duplication_candidates:
+        benefit = graph.duplication_benefit(symbol)
+        penalty = estimate_store_penalty(module, symbol, weights)
+        keep = benefit > penalty
+        decisions.append((symbol, benefit, penalty, keep))
+        if keep:
+            selected.append(symbol)
+    return selected, decisions

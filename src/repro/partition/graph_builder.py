@@ -1,0 +1,89 @@
+"""Compaction-based interference-graph construction (paper Figure 3).
+
+The data-allocation pass runs the compaction algorithm over every basic
+block *in analysis mode*: banks are not yet assigned, so only one memory
+operation can issue per long instruction.  Whenever a second memory
+operation is data-ready in the same instruction but blocked behind the
+first one, the pair could execute in parallel if their variables lived in
+different banks — so an interference edge is added between the two
+variables.  If both operations access the *same* variable or array, no
+partitioning can separate them and the variable is marked for duplication.
+
+Per the paper, blocked memory operations are *not* marked as scheduled:
+they flow into the next data-ready set, so an edge is eventually added
+between every pair of variables that could be accessed in parallel.
+"""
+
+from repro.analysis.dependence import build_dependence_graph
+from repro.compiler.listsched import SchedulePolicy, run_list_schedule
+from repro.ir.operations import UnitClass
+from repro.partition.interference import InterferenceGraph
+from repro.partition.weights import StaticDepthWeights
+
+#: Functional-unit capacities in allocation mode: data banks are not yet
+#: assigned, so memory behaves as a single unit (paper Section 3.1).
+_ALLOCATION_CAPACITY = {
+    UnitClass.PCU: 1,
+    UnitClass.MU: 1,
+    UnitClass.AU: 2,
+    UnitClass.DU: 2,
+    UnitClass.FPU: 2,
+}
+
+
+class _GraphBuildPolicy(SchedulePolicy):
+    """Schedule policy that records interference instead of emitting code."""
+
+    def __init__(self, graph, block, weights):
+        self.graph = graph
+        self.block = block
+        self.weights = weights
+        self._free = {}
+
+    def begin_round(self):
+        self._free = dict(_ALLOCATION_CAPACITY)
+
+    def try_place(self, index, op):
+        unit = op.unit
+        if self._free.get(unit, 0) <= 0:
+            return False
+        self._free[unit] = self._free[unit] - 1
+        return True
+
+    def memory_blocked(self, index, op, first_index, first_op):
+        sym_a = first_op.symbol
+        sym_b = op.symbol
+        if not (sym_a.is_partitionable and sym_b.is_partitionable):
+            return
+        weight = self.weights.weight(self.block)
+        if sym_a is sym_b:
+            self.graph.mark_duplication(sym_a, weight)
+            self.graph.duplication_pairs.append((sym_a, first_op, op))
+            return
+        self.graph.add_edge(sym_a, sym_b, weight, accumulate=self.weights.accumulate)
+
+    def end_round(self, placed):
+        pass
+
+
+def build_interference_graph(module, weights=None):
+    """Build the interference graph for every function of *module*.
+
+    ``weights`` is a weight policy (:class:`StaticDepthWeights` by
+    default, or :class:`~repro.partition.weights.ProfileWeights`).
+    Every partitionable symbol becomes a node even if it never interferes,
+    so the partitioner can place all data deterministically.
+    """
+    if weights is None:
+        weights = StaticDepthWeights()
+    graph = InterferenceGraph()
+    for symbol in module.partitionable_symbols():
+        graph.add_node(symbol)
+    for function in module.functions.values():
+        for block in function.blocks:
+            if not block.memory_ops():
+                continue
+            ddg = build_dependence_graph(block.ops)
+            policy = _GraphBuildPolicy(graph, block, weights)
+            run_list_schedule(ddg, policy)
+    return graph

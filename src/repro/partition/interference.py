@@ -1,0 +1,160 @@
+"""The interference graph over program variables (paper Section 3.1).
+
+Nodes are :class:`~repro.ir.symbols.Symbol` objects; an edge between two
+nodes means the corresponding variables may be accessed in parallel and
+should therefore live in different memory banks.  The edge weight
+represents the performance degradation if the two variables are *not*
+accessed in parallel.
+"""
+
+
+class InterferenceGraph:
+    """Undirected weighted graph over partitionable symbols."""
+
+    def __init__(self):
+        self._nodes = []
+        self._node_set = set()
+        self._edges = {}
+        self._adjacency = {}
+        #: Symbols accessed twice in a potentially-parallel pair; data
+        #: partitioning cannot help these — they are candidates for
+        #: partial data duplication (paper Section 3.2).
+        self.duplication_candidates = []
+        #: symbol name -> accumulated weight of its same-array parallel
+        #: opportunities (the estimated benefit of duplicating it)
+        self.duplication_weights = {}
+        #: (symbol, op_a, op_b) triples for every same-array blocked pair,
+        #: kept for further analyses (e.g. low-order interleaving parity)
+        self.duplication_pairs = []
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _key(a, b):
+        return (a, b) if id(a) <= id(b) else (b, a)
+
+    def add_node(self, symbol):
+        if id(symbol) not in self._node_set:
+            self._node_set.add(id(symbol))
+            self._nodes.append(symbol)
+            self._adjacency[symbol.name] = {}
+        return symbol
+
+    def add_edge(self, a, b, weight, accumulate=False):
+        """Add or strengthen the edge between symbols *a* and *b*.
+
+        With ``accumulate=False`` (the static heuristic) the edge keeps the
+        maximum weight seen; with ``accumulate=True`` (profile weights)
+        occurrences add up.
+        """
+        if a is b:
+            raise ValueError("no self-edges: %s" % a.name)
+        self.add_node(a)
+        self.add_node(b)
+        key = self._key(a, b)
+        old = self._edges.get(key, 0)
+        new = old + weight if accumulate else max(old, weight)
+        self._edges[key] = new
+        self._adjacency[a.name][b.name] = new
+        self._adjacency[b.name][a.name] = new
+
+    def mark_duplication(self, symbol, weight=1):
+        self.add_node(symbol)
+        if symbol not in self.duplication_candidates:
+            self.duplication_candidates.append(symbol)
+        self.duplication_weights[symbol.name] = (
+            self.duplication_weights.get(symbol.name, 0) + weight
+        )
+
+    def duplication_benefit(self, symbol):
+        """Accumulated weight of *symbol*'s same-array parallel pairs."""
+        return self.duplication_weights.get(symbol.name, 0)
+
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self):
+        return list(self._nodes)
+
+    def edges(self):
+        """Iterate ``(symbol_a, symbol_b, weight)`` triples."""
+        for (a, b), weight in self._edges.items():
+            yield a, b, weight
+
+    def weight(self, a, b):
+        return self._edges.get(self._key(a, b), 0)
+
+    def neighbors(self, symbol):
+        return dict(self._adjacency.get(symbol.name, {}))
+
+    def degree(self, symbol):
+        return len(self._adjacency.get(symbol.name, {}))
+
+    def total_weight(self):
+        return sum(self._edges.values())
+
+    def internal_cost(self, symbols):
+        """Sum of edge weights whose endpoints are both inside *symbols*.
+
+        This is the greedy partitioner's cost function: edges internal to
+        one set correspond to parallel accesses that cannot happen.
+        """
+        inside = {id(s) for s in symbols}
+        cost = 0
+        for (a, b), weight in self._edges.items():
+            if id(a) in inside and id(b) in inside:
+                cost += weight
+        return cost
+
+    def __len__(self):
+        return len(self._nodes)
+
+    def __repr__(self):
+        return "<InterferenceGraph nodes=%d edges=%d dup=%d>" % (
+            len(self._nodes),
+            len(self._edges),
+            len(self.duplication_candidates),
+        )
+
+    def to_dot(self, partition=None):
+        """Render the graph in Graphviz DOT format.
+
+        With a :class:`~repro.partition.greedy.PartitionResult`, nodes are
+        colored by their assigned bank and cut edges drawn dashed — paste
+        the output into any DOT viewer to see the partition.
+        """
+        lines = ["graph interference {"]
+        lines.append('  graph [label="interference graph", overlap=false];')
+        in_y = set()
+        if partition is not None:
+            in_y = {id(s) for s in partition.set_y}
+        for node in self._nodes:
+            color = "lightskyblue" if id(node) in in_y else "palegreen"
+            shape = "box" if node.is_array else "ellipse"
+            extra = ', style=filled, fillcolor="%s"' % color if partition else ""
+            dup = " (dup)" if node in self.duplication_candidates else ""
+            lines.append(
+                '  "%s" [shape=%s, label="%s%s"%s];'
+                % (node.name, shape, node.name, dup, extra)
+            )
+        for (a, b), weight in self._edges.items():
+            cut = partition is not None and (id(a) in in_y) != (id(b) in in_y)
+            style = ', style=dashed, color=gray40' if cut else ""
+            lines.append(
+                '  "%s" -- "%s" [label="%s"%s];' % (a.name, b.name, weight, style)
+            )
+        lines.append("}")
+        return "\n".join(lines)
+
+    def describe(self):
+        """Multi-line human-readable dump (for examples and debugging)."""
+        lines = ["interference graph: %d nodes, %d edges" % (len(self._nodes), len(self._edges))]
+        rendered = [
+            (tuple(sorted((a.name, b.name))), w) for a, b, w in self.edges()
+        ]
+        for (name_a, name_b), w in sorted(rendered, key=lambda e: (-e[1], e[0])):
+            lines.append("  (%s, %s) weight %s" % (name_a, name_b, w))
+        if self.duplication_candidates:
+            lines.append(
+                "  duplication candidates: %s"
+                % ", ".join(s.name for s in self.duplication_candidates)
+            )
+        return "\n".join(lines)

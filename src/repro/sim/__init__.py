@@ -1,0 +1,25 @@
+"""Instruction-set simulator for the VLIW model architecture.
+
+Executes a compiled :class:`~repro.machine.instruction.MachineProgram`
+cycle by cycle: one long instruction per cycle (every functional unit has
+single-cycle latency), with register/memory reads happening before writes
+within a cycle, dual single-ported data banks with independent stacks,
+zero-overhead hardware loops, and optional interrupt injection for
+validating the store-lock/store-unlock protocol on duplicated data.
+"""
+
+from repro.sim.simulator import SimulationError, SimulationResult, Simulator
+from repro.sim.tracing import collect_block_counts, profile_module
+from repro.sim.interrupts import InterruptInjector
+from repro.sim.statistics import UtilizationReport, utilization
+
+__all__ = [
+    "InterruptInjector",
+    "SimulationError",
+    "SimulationResult",
+    "Simulator",
+    "UtilizationReport",
+    "collect_block_counts",
+    "profile_module",
+    "utilization",
+]

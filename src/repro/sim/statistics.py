@@ -1,0 +1,81 @@
+"""Post-run statistics: functional-unit utilization and memory traffic.
+
+The paper's motivation is bandwidth: two banks exist so that two memory
+operations can issue per cycle.  These statistics make that visible —
+how busy each of the nine units actually was, how memory operations
+split across MU0/MU1, and how much achieved parallelism each schedule
+reached — computed from a finished simulation's per-pc execution counts
+(so cold code does not distort the picture).
+"""
+
+from repro.machine.resources import ALL_UNITS, FunctionalUnit
+
+
+class UtilizationReport:
+    """Per-unit busy counts over an executed program."""
+
+    def __init__(self, cycles, busy, memory_ops):
+        #: total executed cycles
+        self.cycles = cycles
+        #: FunctionalUnit -> cycles the unit had an operation
+        self.busy = busy
+        #: total dynamic memory operations
+        self.memory_ops = memory_ops
+
+    def utilization(self, unit):
+        """Fraction of cycles *unit* was busy (0.0 - 1.0)."""
+        if self.cycles == 0:
+            return 0.0
+        return self.busy.get(unit, 0) / self.cycles
+
+    @property
+    def memory_balance(self):
+        """MU1's share of all memory operations (0.5 = perfectly split).
+
+        The single-bank baseline scores 0.0 — every access goes through
+        MU0 — while a good partitioning approaches 0.5.
+        """
+        total = self.busy.get(FunctionalUnit.MU0, 0) + self.busy.get(
+            FunctionalUnit.MU1, 0
+        )
+        if total == 0:
+            return 0.0
+        return self.busy.get(FunctionalUnit.MU1, 0) / total
+
+    @property
+    def dual_issue_headroom(self):
+        """Memory operations per cycle actually achieved (0.0 - 2.0)."""
+        if self.cycles == 0:
+            return 0.0
+        return self.memory_ops / self.cycles
+
+    def describe(self):
+        lines = ["unit utilization over %d cycles" % self.cycles]
+        for unit in ALL_UNITS:
+            fraction = self.utilization(unit)
+            bar = "#" * int(round(fraction * 40))
+            lines.append("  %-5s %5.1f%%  |%s" % (unit.name, 100 * fraction, bar))
+        lines.append(
+            "  memory ops: %d (%.2f/cycle, MU1 share %.2f)"
+            % (self.memory_ops, self.dual_issue_headroom, self.memory_balance)
+        )
+        return "\n".join(lines)
+
+
+def utilization(program, result):
+    """Compute a :class:`UtilizationReport` from a finished run.
+
+    ``program`` is the executed :class:`MachineProgram`; ``result`` the
+    :class:`SimulationResult` carrying per-pc execution counts.
+    """
+    busy = {unit: 0 for unit in ALL_UNITS}
+    memory_ops = 0
+    for index, instruction in enumerate(program.instructions):
+        executed = result.pc_counts[index]
+        if not executed:
+            continue
+        for unit, op in instruction:
+            busy[unit] += executed
+            if op.is_memory:
+                memory_ops += executed
+    return UtilizationReport(result.cycles, busy, memory_ops)

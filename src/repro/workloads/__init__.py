@@ -1,0 +1,31 @@
+"""The paper's benchmark suite: 12 DSP kernels and 11 DSP applications.
+
+Each workload (paper Tables 1 and 2) is expressed in the DSL front-end and
+paired with a NumPy/pure-Python reference model, so every configuration's
+compiled code is verified functionally, not just timed.
+
+================  ==================================================
+Kernels           fft_1024, fft_256, fir_256_64, fir_32_1, iir_4_64,
+                  iir_1_1, latnrm_32_64, latnrm_8_1, lmsfir_32_64,
+                  lmsfir_8_1, mult_10_10, mult_4_4
+Applications      adpcm, lpc, spectral, edge_detect, compress,
+                  histogram, V32encode, G721MLencode, G721MLdecode,
+                  G721WFencode, trellis
+================  ==================================================
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.registry import (
+    APPLICATIONS,
+    KERNELS,
+    all_workloads,
+    get_workload,
+)
+
+__all__ = [
+    "APPLICATIONS",
+    "KERNELS",
+    "Workload",
+    "all_workloads",
+    "get_workload",
+]

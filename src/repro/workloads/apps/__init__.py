@@ -1,0 +1,9 @@
+"""The 11 DSP applications of paper Table 2.
+
+Unlike the kernels, these are complete programs: control code, table
+lookups, multiple processing phases, and function calls surround the hot
+loops — which is why the paper's application gains (3-15% for CB) are far
+smaller than the kernel gains, and why three of them (lpc, spectral,
+V32encode) contain the same-array parallel accesses that motivate partial
+data duplication.
+"""

@@ -1,0 +1,157 @@
+"""Image compression with an 8x8 block Discrete Cosine Transform.
+
+The image is processed in 8x8 blocks: each block is transformed with two
+8x8 matrix multiplies (``C . B . C^T``) and quantized against a table.
+The DCT runs as a called function (one call per block), exercising the
+dual-stack callee save/restore path; its inner products pair cosine-matrix
+loads against block loads across the banks.
+"""
+
+import math
+
+import numpy as np
+
+from repro.frontend import ProgramBuilder
+from repro.workloads import data
+from repro.workloads.base import Workload
+
+SIZE = 32
+BLOCK = 8
+BLOCKS = (SIZE // BLOCK) * (SIZE // BLOCK)
+
+#: JPEG luminance quantization table (standard Annex K).
+QUANT = [
+    16, 11, 10, 16, 24, 40, 51, 61,
+    12, 12, 14, 19, 26, 58, 60, 55,
+    14, 13, 16, 24, 40, 57, 69, 56,
+    14, 17, 22, 29, 51, 87, 80, 62,
+    18, 22, 37, 56, 68, 109, 103, 77,
+    24, 35, 55, 64, 81, 104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101,
+    72, 92, 95, 98, 112, 100, 103, 99,
+]
+
+
+def dct_matrix():
+    c = []
+    for i in range(BLOCK):
+        row = []
+        scale = math.sqrt(1.0 / BLOCK) if i == 0 else math.sqrt(2.0 / BLOCK)
+        for j in range(BLOCK):
+            row.append(scale * math.cos((2 * j + 1) * i * math.pi / (2 * BLOCK)))
+        c.extend(row)
+    return c
+
+
+def compress_reference(image):
+    c = np.asarray(dct_matrix()).reshape(BLOCK, BLOCK)
+    q = np.asarray(QUANT, dtype=float).reshape(BLOCK, BLOCK)
+    out = []
+    for bi in range(SIZE // BLOCK):
+        for bj in range(SIZE // BLOCK):
+            block = image[
+                bi * BLOCK : (bi + 1) * BLOCK, bj * BLOCK : (bj + 1) * BLOCK
+            ].astype(float) - 128.0
+            coef = c @ block @ c.T
+            scaled = coef / q
+            quantized = np.where(
+                scaled >= 0,
+                np.floor(scaled + 0.5),
+                -np.floor(0.5 - scaled),
+            ).astype(np.int64)
+            out.extend(quantized.reshape(-1).tolist())
+    return out
+
+
+class Compress(Workload):
+    name = "compress"
+    category = "application"
+
+    def __init__(self):
+        self._image = data.image(SIZE, SIZE, seed=91)
+
+    def build(self):
+        pb = ProgramBuilder(self.name)
+        img_flat = [float(v) for v in self._image.reshape(-1)]
+        img = pb.global_array("img", SIZE * SIZE, float, init=img_flat)
+        cmat = pb.global_array("cmat", BLOCK * BLOCK, float, init=dct_matrix())
+        quant = pb.global_array(
+            "quant", BLOCK * BLOCK, float, init=[float(v) for v in QUANT]
+        )
+        work = pb.global_array("work", BLOCK * BLOCK, float)
+        tmp = pb.global_array("tmp", BLOCK * BLOCK, float)
+        coef = pb.global_array("coef", BLOCK * BLOCK, float)
+        qout = pb.global_array("qout", SIZE * SIZE, int)
+
+        # tmp = cmat . work ; coef = tmp . cmat^T  (row-major 8x8 matmuls)
+        with pb.function("dct_block") as f:
+            with f.loop(BLOCK, name="i") as i:
+                row = f.index_var("row")
+                f.assign(row, i * BLOCK)
+                with f.loop(BLOCK, name="j") as j:
+                    acc = f.float_var("acc")
+                    f.assign(acc, 0.0)
+                    col = f.index_var("col")
+                    f.assign(col, j)
+                    with f.loop(BLOCK, name="k") as k:
+                        f.assign(acc, acc + cmat[row + k] * work[col])
+                        f.assign(col, col + BLOCK)
+                    f.assign(tmp[row + j], acc)
+            with f.loop(BLOCK, name="i2") as i2:
+                row = f.index_var("row2")
+                f.assign(row, i2 * BLOCK)
+                with f.loop(BLOCK, name="j2") as j2:
+                    acc = f.float_var("acc2")
+                    f.assign(acc, 0.0)
+                    crow = f.index_var("crow")
+                    f.assign(crow, j2 * BLOCK)
+                    with f.loop(BLOCK, name="k2") as k2:
+                        # coef[i][j] = sum_k tmp[i][k] * C[j][k]
+                        f.assign(acc, acc + tmp[row + k2] * cmat[crow + k2])
+                    f.assign(coef[row + j2], acc)
+        dct = pb.get("dct_block")
+
+        with pb.function("main") as f:
+            nblocks_side = SIZE // BLOCK
+            with f.loop(nblocks_side, name="bi") as bi:
+                with f.loop(nblocks_side, name="bj") as bj:
+                    origin = f.index_var("origin")
+                    f.assign(origin, bi * (BLOCK * SIZE) + bj * BLOCK)
+                    # Gather the block, centering samples around zero.
+                    with f.loop(BLOCK, name="gi") as gi:
+                        src = f.index_var("src")
+                        dst = f.index_var("dst")
+                        f.assign(src, origin + gi * SIZE)
+                        f.assign(dst, gi * BLOCK)
+                        with f.loop(BLOCK, name="gj") as gj:
+                            f.assign(work[dst + gj], img[src + gj] - 128.0)
+                    f.call(dct)
+                    # Quantize: round(coef / quant) half away from zero.
+                    with f.loop(BLOCK * BLOCK, name="qi") as qi:
+                        scaled = f.float_var("scaled")
+                        f.assign(scaled, coef[qi] / quant[qi])
+                        q = f.int_var("q")
+                        # FTOI truncates toward zero, so trunc(x + 0.5)
+                        # rounds half away from zero on each sign branch.
+                        with f.if_(scaled >= 0.0):
+                            f.assign(q, scaled + 0.5)
+                        with f.else_():
+                            f.assign(q, -(0.5 - scaled))
+                        f.assign(qout[origin + qi], q)
+        return pb.build()
+
+    def expected(self):
+        return {"qout": self._reference_layout()}
+
+    def _reference_layout(self):
+        """Reference output rearranged to the program's storage layout."""
+        flat = [0] * (SIZE * SIZE)
+        values = compress_reference(self._image)
+        index = 0
+        for bi in range(SIZE // BLOCK):
+            for bj in range(SIZE // BLOCK):
+                origin = bi * BLOCK * SIZE + bj * BLOCK
+                for qi in range(BLOCK * BLOCK):
+                    flat[origin + qi] = values[index]
+                    index += 1
+        return flat

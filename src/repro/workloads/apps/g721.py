@@ -1,0 +1,440 @@
+"""CCITT G.721-style 32 kbit/s ADPCM codec, in three implementations.
+
+Like the paper, we carry three variants: ``G721MLencode`` and
+``G721MLdecode`` (a floating-point implementation) and ``G721WFencode``
+(an integer, shift-based implementation of the same algorithm).  The
+codec is an adaptive quantizer over the prediction error of a two-pole /
+six-zero adaptive predictor.
+
+All predictor state lives in scalar variables (registers), exactly as an
+optimizing C compiler would allocate it; the only array traffic is the
+sample stream, the code stream, and data-dependent quantizer-table
+lookups.  Consequently there is *no* exploitable memory parallelism:
+the paper reports a 1.00 performance ratio for these three programs under
+every configuration — including ideal dual-ported memory — and a large
+cost increase (1.70) under full duplication.
+"""
+
+from repro.frontend import ProgramBuilder
+from repro.workloads import data
+from repro.workloads.base import Workload
+
+SAMPLES = 224
+ORDER_ZEROS = 6
+
+#: Quantizer decision thresholds and reconstruction levels (in units of
+#: the adaptive step), plus the step-size multipliers.
+THRESH = [0.25, 0.75, 1.25, 1.75, 2.25, 2.75, 3.25]
+RECON = [0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5]
+MULT = [0.92, 0.96, 1.0, 1.04, 1.12, 1.28, 1.55, 1.9]
+STEP_MIN = 4.0
+STEP_MAX = 2048.0
+LEAK = 0.996
+GAIN_B = 0.008
+GAIN_A = 0.006
+
+SCALE = 256  # fixed-point scale for the WF (integer) variant
+
+
+class _MlState:
+    def __init__(self):
+        self.b = [0.0] * ORDER_ZEROS
+        self.dq = [0.0] * ORDER_ZEROS
+        self.a1 = 0.0
+        self.a2 = 0.0
+        self.sr1 = 0.0
+        self.sr2 = 0.0
+        self.step = 32.0
+
+
+def _ml_sign(v):
+    return 1.0 if v >= 0 else -1.0
+
+
+def ml_encode_step(state, sample):
+    sez = sum(state.b[i] * state.dq[i] for i in range(ORDER_ZEROS))
+    se = state.a1 * state.sr1 + state.a2 * state.sr2 + sez
+    d = sample - se
+    magnitude = abs(d)
+    level = 0
+    for i in range(7):
+        if magnitude >= THRESH[i] * state.step:
+            level = i + 1
+    code = level if d >= 0 else level + 8
+    ml_decode_update(state, code)
+    return code
+
+
+def ml_decode_update(state, code):
+    """Shared state update (encoder and decoder run it identically)."""
+    level = code & 7
+    sign = -1.0 if code & 8 else 1.0
+    sez = sum(state.b[i] * state.dq[i] for i in range(ORDER_ZEROS))
+    se = state.a1 * state.sr1 + state.a2 * state.sr2 + sez
+    dq = sign * RECON[level] * state.step
+    sr = se + dq
+    # Step-size adaptation.
+    step = state.step * MULT[level]
+    if step < STEP_MIN:
+        step = STEP_MIN
+    elif step > STEP_MAX:
+        step = STEP_MAX
+    state.step = step
+    # Sign-sign LMS adaptation of the zeros (with leakage).
+    sdq = _ml_sign(dq) if dq != 0.0 else 0.0
+    for i in range(ORDER_ZEROS):
+        sdqi = _ml_sign(state.dq[i]) if state.dq[i] != 0.0 else 0.0
+        state.b[i] = state.b[i] * LEAK + GAIN_B * sdq * sdqi
+    # Pole adaptation from the reconstructed-signal trend.
+    p = sr - state.sr1
+    p1 = state.sr1 - state.sr2
+    state.a1 = state.a1 * LEAK + GAIN_A * _ml_sign(p) * _ml_sign(p1)
+    if state.a1 > 0.9:
+        state.a1 = 0.9
+    elif state.a1 < -0.9:
+        state.a1 = -0.9
+    state.a2 = state.a2 * LEAK
+    # Delay lines.
+    for i in range(ORDER_ZEROS - 1, 0, -1):
+        state.dq[i] = state.dq[i - 1]
+    state.dq[0] = dq
+    state.sr2 = state.sr1
+    state.sr1 = sr
+    return sr
+
+
+def ml_encode_reference(samples):
+    state = _MlState()
+    return [ml_encode_step(state, s) for s in samples]
+
+
+def ml_decode_reference(codes):
+    state = _MlState()
+    return [ml_decode_update(state, c) for c in codes]
+
+
+def _tdiv(a, b):
+    """C-style truncating division (matches the machine's DIV opcode)."""
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def wf_encode_reference(samples):
+    """Integer (fixed-point) variant: products become shifts and scaled
+    integer multiplies; the quantizer walks integer thresholds."""
+    b = [0] * ORDER_ZEROS
+    dq = [0] * ORDER_ZEROS
+    a1 = a2 = 0
+    sr1 = sr2 = 0
+    step = 32 * SCALE
+    codes = []
+    ith = [int(t * SCALE) for t in THRESH]
+    irc = [int(r * SCALE) for r in RECON]
+    imu = [int(m * SCALE) for m in MULT]
+    for sample in samples:
+        sez = 0
+        for i in range(ORDER_ZEROS):
+            sez += _tdiv(b[i] * dq[i], SCALE)
+        se = _tdiv(a1 * sr1, SCALE) + _tdiv(a2 * sr2, SCALE) + sez
+        d = sample * SCALE - se
+        mag = d if d >= 0 else -d
+        level = 0
+        for i in range(7):
+            if mag >= _tdiv(_tdiv(ith[i] * step, SCALE), SCALE):
+                level = i + 1
+        code = level if d >= 0 else level + 8
+        dqv = _tdiv(_tdiv(irc[level] * step, SCALE), SCALE)
+        if code & 8:
+            dqv = -dqv
+        sr = se + dqv
+        step = _tdiv(step * imu[level], SCALE)
+        if step < 4 * SCALE:
+            step = 4 * SCALE
+        elif step > 2048 * SCALE:
+            step = 2048 * SCALE
+        sdq = 0 if dqv == 0 else (1 if dqv > 0 else -1)
+        for i in range(ORDER_ZEROS):
+            sdqi = 0 if dq[i] == 0 else (1 if dq[i] > 0 else -1)
+            b[i] = b[i] - (b[i] >> 8) + 2 * sdq * sdqi
+        p = sr - sr1
+        p1 = sr1 - sr2
+        sp = 0 if p == 0 else (1 if p > 0 else -1)
+        sp1 = 0 if p1 == 0 else (1 if p1 > 0 else -1)
+        a1 = a1 - (a1 >> 8) + 2 * sp * sp1
+        if a1 > 230:
+            a1 = 230
+        elif a1 < -230:
+            a1 = -230
+        a2 = a2 - (a2 >> 8)
+        for i in range(ORDER_ZEROS - 1, 0, -1):
+            dq[i] = dq[i - 1]
+        dq[0] = dqv
+        sr2 = sr1
+        sr1 = sr
+        codes.append(code)
+    return codes
+
+
+class G721(Workload):
+    category = "application"
+    rtol = 1e-8
+    atol = 1e-8
+
+    def __init__(self, variant, direction):
+        if variant not in ("ml", "wf"):
+            raise ValueError("variant must be 'ml' or 'wf'")
+        if direction not in ("encode", "decode"):
+            raise ValueError("direction must be 'encode' or 'decode'")
+        if (variant, direction) == ("wf", "decode"):
+            raise ValueError("the paper's suite has no WF decoder")
+        self.variant = variant
+        self.direction = direction
+        self.name = "G721%s%s" % (variant.upper(), direction)
+        raw = data.speech(SAMPLES, seed=67)
+        self._samples = [int(v * 8000) for v in raw]
+        if direction == "decode":
+            self._codes = ml_encode_reference([float(v) for v in self._samples])
+
+    # ------------------------------------------------------------------
+    def build(self):
+        if self.variant == "wf":
+            return self._build_wf()
+        return self._build_ml()
+
+    def _build_ml(self):
+        pb = ProgramBuilder(self.name)
+        decode = self.direction == "decode"
+        if decode:
+            codes_in = pb.global_array("codes_in", SAMPLES, int, init=self._codes)
+            out = pb.global_array("out", SAMPLES, float)
+        else:
+            x = pb.global_array(
+                "x", SAMPLES, float, init=[float(v) for v in self._samples]
+            )
+            codes = pb.global_array("codes", SAMPLES, int)
+        thresh = pb.global_array("thresh", 7, float, init=THRESH)
+        recon = pb.global_array("recon", 8, float, init=RECON)
+        mult = pb.global_array("mult", 8, float, init=MULT)
+
+        with pb.function("main") as f:
+            b = [f.float_var("b%d" % i) for i in range(ORDER_ZEROS)]
+            dq = [f.float_var("dq%d" % i) for i in range(ORDER_ZEROS)]
+            for reg in b + dq:
+                f.assign(reg, 0.0)
+            a1 = f.float_var("a1")
+            a2 = f.float_var("a2")
+            sr1 = f.float_var("sr1")
+            sr2 = f.float_var("sr2")
+            step = f.float_var("step")
+            for reg in (a1, a2, sr1, sr2):
+                f.assign(reg, 0.0)
+            f.assign(step, 32.0)
+
+            with f.loop(SAMPLES, name="n") as n:
+                sez = f.float_var("sez")
+                f.assign(sez, 0.0)
+                for i in range(ORDER_ZEROS):
+                    f.assign(sez, sez + b[i] * dq[i])
+                se = f.float_var("se")
+                f.assign(se, a1 * sr1 + a2 * sr2 + sez)
+
+                level = f.index_var("level")
+                sign_neg = f.int_var("sneg")
+                if decode:
+                    code = f.index_var("code")
+                    f.assign(code, codes_in[n])
+                    f.assign(level, code & 7)
+                    f.assign(sign_neg, (code & 8) != 0)
+                else:
+                    d = f.float_var("d")
+                    f.assign(d, x[n] - se)
+                    mag = f.float_var("mag")
+                    f.assign(mag, abs(d))
+                    f.assign(level, 0)
+                    with f.loop(7, name="t") as t:
+                        with f.if_(mag >= thresh[t] * step):
+                            f.assign(level, t + 1)
+                    f.assign(sign_neg, d < 0.0)
+                    code_v = f.int_var("code_v")
+                    f.assign(code_v, level)
+                    with f.if_(sign_neg):
+                        f.assign(code_v, code_v + 8)
+                    f.assign(codes[n], code_v)
+
+                dqv = f.float_var("dqv")
+                f.assign(dqv, recon[level] * step)
+                with f.if_(sign_neg):
+                    f.assign(dqv, -dqv)
+                sr = f.float_var("sr")
+                f.assign(sr, se + dqv)
+                if decode:
+                    f.assign(out[n], sr)
+
+                f.assign(step, step * mult[level])
+                with f.if_(step < STEP_MIN):
+                    f.assign(step, STEP_MIN)
+                with f.if_(step > STEP_MAX):
+                    f.assign(step, STEP_MAX)
+
+                sdq = f.float_var("sdq")
+                f.assign(sdq, 0.0)
+                with f.if_(dqv > 0.0):
+                    f.assign(sdq, 1.0)
+                with f.if_(dqv < 0.0):
+                    f.assign(sdq, -1.0)
+                for i in range(ORDER_ZEROS):
+                    sdqi = f.float_var("sdqi")
+                    f.assign(sdqi, 0.0)
+                    with f.if_(dq[i] > 0.0):
+                        f.assign(sdqi, 1.0)
+                    with f.if_(dq[i] < 0.0):
+                        f.assign(sdqi, -1.0)
+                    f.assign(b[i], b[i] * LEAK + GAIN_B * sdq * sdqi)
+
+                p = f.float_var("p")
+                p1 = f.float_var("p1")
+                f.assign(p, sr - sr1)
+                f.assign(p1, sr1 - sr2)
+                sp = f.float_var("sp")
+                sp1 = f.float_var("sp1")
+                f.assign(sp, 1.0)
+                with f.if_(p < 0.0):
+                    f.assign(sp, -1.0)
+                f.assign(sp1, 1.0)
+                with f.if_(p1 < 0.0):
+                    f.assign(sp1, -1.0)
+                f.assign(a1, a1 * LEAK + GAIN_A * sp * sp1)
+                with f.if_(a1 > 0.9):
+                    f.assign(a1, 0.9)
+                with f.if_(a1 < -0.9):
+                    f.assign(a1, -0.9)
+                f.assign(a2, a2 * LEAK)
+
+                for i in range(ORDER_ZEROS - 1, 0, -1):
+                    f.assign(dq[i], dq[i - 1])
+                f.assign(dq[0], dqv)
+                f.assign(sr2, sr1)
+                f.assign(sr1, sr)
+        return pb.build()
+
+    def _build_wf(self):
+        pb = ProgramBuilder(self.name)
+        x = pb.global_array("x", SAMPLES, int, init=self._samples)
+        codes = pb.global_array("codes", SAMPLES, int)
+        ith = pb.global_array(
+            "ith", 7, int, init=[int(t * SCALE) for t in THRESH]
+        )
+        irc = pb.global_array(
+            "irc", 8, int, init=[int(r * SCALE) for r in RECON]
+        )
+        imu = pb.global_array(
+            "imu", 8, int, init=[int(m * SCALE) for m in MULT]
+        )
+
+        with pb.function("main") as f:
+            b = [f.int_var("b%d" % i) for i in range(ORDER_ZEROS)]
+            dq = [f.int_var("dq%d" % i) for i in range(ORDER_ZEROS)]
+            for reg in b + dq:
+                f.assign(reg, 0)
+            a1 = f.int_var("a1")
+            a2 = f.int_var("a2")
+            sr1 = f.int_var("sr1")
+            sr2 = f.int_var("sr2")
+            step = f.int_var("step")
+            for reg in (a1, a2, sr1, sr2):
+                f.assign(reg, 0)
+            f.assign(step, 32 * SCALE)
+
+            with f.loop(SAMPLES, name="n") as n:
+                sez = f.int_var("sez")
+                f.assign(sez, 0)
+                for i in range(ORDER_ZEROS):
+                    f.assign(sez, sez + (b[i] * dq[i]) / SCALE)
+                se = f.int_var("se")
+                f.assign(se, (a1 * sr1) / SCALE + (a2 * sr2) / SCALE + sez)
+                d = f.int_var("d")
+                f.assign(d, x[n] * SCALE - se)
+                mag = f.int_var("mag")
+                f.assign(mag, d)
+                with f.if_(d < 0):
+                    f.assign(mag, -d)
+                level = f.index_var("level")
+                f.assign(level, 0)
+                with f.loop(7, name="t") as t:
+                    limit = f.int_var("limit")
+                    f.assign(limit, ith[t] * step / SCALE / SCALE)
+                    with f.if_(mag >= limit):
+                        f.assign(level, t + 1)
+                code_v = f.int_var("code_v")
+                f.assign(code_v, level)
+                with f.if_(d < 0):
+                    f.assign(code_v, code_v + 8)
+                f.assign(codes[n], code_v)
+
+                dqv = f.int_var("dqv")
+                f.assign(dqv, irc[level] * step / SCALE / SCALE)
+                with f.if_(d < 0):
+                    f.assign(dqv, -dqv)
+                sr = f.int_var("sr")
+                f.assign(sr, se + dqv)
+
+                f.assign(step, step * imu[level] / SCALE)
+                with f.if_(step < 4 * SCALE):
+                    f.assign(step, 4 * SCALE)
+                with f.if_(step > 2048 * SCALE):
+                    f.assign(step, 2048 * SCALE)
+
+                sdq = f.int_var("sdq")
+                f.assign(sdq, 0)
+                with f.if_(dqv > 0):
+                    f.assign(sdq, 1)
+                with f.if_(dqv < 0):
+                    f.assign(sdq, -1)
+                for i in range(ORDER_ZEROS):
+                    sdqi = f.int_var("sdqi")
+                    f.assign(sdqi, 0)
+                    with f.if_(dq[i] > 0):
+                        f.assign(sdqi, 1)
+                    with f.if_(dq[i] < 0):
+                        f.assign(sdqi, -1)
+                    f.assign(b[i], b[i] - (b[i] >> 8) + 2 * sdq * sdqi)
+
+                p = f.int_var("p")
+                p1 = f.int_var("p1")
+                f.assign(p, sr - sr1)
+                f.assign(p1, sr1 - sr2)
+                sp = f.int_var("sp")
+                sp1 = f.int_var("sp1")
+                f.assign(sp, 0)
+                with f.if_(p > 0):
+                    f.assign(sp, 1)
+                with f.if_(p < 0):
+                    f.assign(sp, -1)
+                f.assign(sp1, 0)
+                with f.if_(p1 > 0):
+                    f.assign(sp1, 1)
+                with f.if_(p1 < 0):
+                    f.assign(sp1, -1)
+                f.assign(a1, a1 - (a1 >> 8) + 2 * sp * sp1)
+                with f.if_(a1 > 230):
+                    f.assign(a1, 230)
+                with f.if_(a1 < -230):
+                    f.assign(a1, -230)
+                f.assign(a2, a2 - (a2 >> 8))
+
+                for i in range(ORDER_ZEROS - 1, 0, -1):
+                    f.assign(dq[i], dq[i - 1])
+                f.assign(dq[0], dqv)
+                f.assign(sr2, sr1)
+                f.assign(sr1, sr)
+        return pb.build()
+
+    # ------------------------------------------------------------------
+    def expected(self):
+        if self.variant == "wf":
+            return {"codes": wf_encode_reference(self._samples)}
+        if self.direction == "encode":
+            return {
+                "codes": ml_encode_reference([float(v) for v in self._samples])
+            }
+        return {"out": ml_decode_reference(self._codes)}

@@ -1,0 +1,72 @@
+"""Image enhancement by histogram equalization.
+
+Three passes: build the intensity histogram (``hist[img[i]]++``), turn it
+into a scaled cumulative lookup table, and remap every pixel through the
+table.  Every memory access feeds the next one (the pixel value *is* the
+next address), so there is no memory parallelism for any allocation to
+exploit — the paper reports exactly 0% gain even with dual-ported memory,
+and this program is why.
+"""
+
+import numpy as np
+
+from repro.frontend import ProgramBuilder
+from repro.workloads import data
+from repro.workloads.base import Workload
+
+HEIGHT = 64
+WIDTH = 64
+LEVELS = 256
+PIXELS = HEIGHT * WIDTH
+
+
+def histogram_reference(image):
+    flat = image.reshape(-1)
+    hist = np.bincount(flat, minlength=LEVELS)
+    lut = []
+    cumulative = 0
+    for level in range(LEVELS):
+        cumulative += int(hist[level])
+        lut.append((cumulative * (LEVELS - 1)) // PIXELS)
+    out = [lut[v] for v in flat]
+    return [int(h) for h in hist], lut, out
+
+
+class Histogram(Workload):
+    name = "histogram"
+    category = "application"
+
+    def __init__(self):
+        self._image = data.image(HEIGHT, WIDTH, seed=13)
+
+    def build(self):
+        pb = ProgramBuilder(self.name)
+        img = pb.global_array(
+            "img", PIXELS, int, init=[int(v) for v in self._image.reshape(-1)]
+        )
+        hist = pb.global_array("hist", LEVELS, int)
+        lut = pb.global_array("lut", LEVELS, int)
+        out = pb.global_array("out", PIXELS, int)
+
+        with pb.function("main") as f:
+            # Pass 1: histogram. The pixel load feeds the bin address.
+            with f.loop(PIXELS, name="p") as p:
+                level = f.index_var("level")
+                f.assign(level, img[p])
+                f.assign(hist[level], hist[level] + 1)
+            # Pass 2: scaled cumulative distribution as a lookup table.
+            cumulative = f.int_var("cum")
+            f.assign(cumulative, 0)
+            with f.loop(LEVELS, name="l") as l:
+                f.assign(cumulative, cumulative + hist[l])
+                f.assign(lut[l], (cumulative * (LEVELS - 1)) / PIXELS)
+            # Pass 3: remap every pixel through the table.
+            with f.loop(PIXELS, name="q") as q:
+                level = f.index_var("level2")
+                f.assign(level, img[q])
+                f.assign(out[q], lut[level])
+        return pb.build()
+
+    def expected(self):
+        hist, lut, out = histogram_reference(self._image)
+        return {"hist": hist, "lut": lut, "out": out}

@@ -1,0 +1,209 @@
+"""Trellis (Viterbi) decoder for a rate-1/2, 4-state convolutional code.
+
+The add-compare-select recursion keeps the four path metrics in scalar
+registers; per received symbol it loads the two channel bit streams (two
+arrays — a pairable access) and stores one survivor decision per state
+into four survivor arrays.  Traceback then walks the survivors backwards
+through data-dependent loads.  Gains are small (~5% in the paper): the
+ACS network is compare/select-bound, and the traceback is fully
+serialized.
+"""
+
+from repro.frontend import ProgramBuilder
+from repro.workloads import data
+from repro.workloads.base import Workload
+
+SYMBOLS = 192
+
+#: Code generators for the (5, 7) rate-1/2 convolutional code, K=3.
+#: state = (b_{n-1}, b_{n-2}); output bits for input b_n.
+def _encode(bits):
+    s1 = s2 = 0
+    out0 = []
+    out1 = []
+    for b in bits:
+        out0.append(b ^ s2)          # 101
+        out1.append(b ^ s1 ^ s2)     # 111
+        s2 = s1
+        s1 = b
+    return out0, out1
+
+
+#: next_state[state][input] and output bits out0/out1[state][input]
+def _tables():
+    next_state = [[0] * 2 for _ in range(4)]
+    o0 = [[0] * 2 for _ in range(4)]
+    o1 = [[0] * 2 for _ in range(4)]
+    for state in range(4):
+        s1 = (state >> 1) & 1
+        s2 = state & 1
+        for b in (0, 1):
+            o0[state][b] = b ^ s2
+            o1[state][b] = b ^ s1 ^ s2
+            next_state[state][b] = ((b << 1) | s1) & 3
+    return next_state, o0, o1
+
+
+def viterbi_reference(r0, r1):
+    next_state, o0, o1 = _tables()
+    # predecessors[s] = [(prev_state, input_bit), ...]
+    preds = [[] for _ in range(4)]
+    for state in range(4):
+        for b in (0, 1):
+            preds[next_state[state][b]].append((state, b))
+    big = 1 << 20
+    metric = [0, big, big, big]
+    survivors = []
+    for n in range(len(r0)):
+        new_metric = [0] * 4
+        decision = [0] * 4
+        for s in range(4):
+            best = None
+            best_pred = 0
+            for pred, b in preds[s]:
+                cost = (
+                    metric[pred]
+                    + (r0[n] ^ o0[pred][b])
+                    + (r1[n] ^ o1[pred][b])
+                )
+                if best is None or cost < best:
+                    best = cost
+                    best_pred = pred
+            new_metric[s] = best
+            decision[s] = best_pred
+        metric = new_metric
+        survivors.append(decision)
+    # Traceback from the best final state.
+    state = min(range(4), key=lambda s: metric[s])
+    decoded = [0] * len(r0)
+    for n in range(len(r0) - 1, -1, -1):
+        prev = survivors[n][state]
+        decoded[n] = (state >> 1) & 1
+        state = prev
+    return decoded, metric
+
+
+class Trellis(Workload):
+    name = "trellis"
+    category = "application"
+
+    def __init__(self):
+        self._bits = data.bits(SYMBOLS, seed=71)
+        r0, r1 = _encode(self._bits)
+        # Inject a few channel errors so the decoder does real work.
+        noise = data.rng(72).choice(SYMBOLS, size=6, replace=False)
+        for position in noise:
+            r0[int(position)] ^= 1
+        self._r0 = r0
+        self._r1 = r1
+
+    def build(self):
+        next_state, o0, o1 = _tables()
+        preds = [[] for _ in range(4)]
+        for state in range(4):
+            for b in (0, 1):
+                preds[next_state[state][b]].append((state, b))
+        big = 1 << 20
+
+        pb = ProgramBuilder(self.name)
+        r0 = pb.global_array("r0", SYMBOLS, int, init=self._r0)
+        r1 = pb.global_array("r1", SYMBOLS, int, init=self._r1)
+        sv = [pb.global_array("sv%d" % s, SYMBOLS, int) for s in range(4)]
+        decoded = pb.global_array("decoded", SYMBOLS, int)
+        final_metric = pb.global_array("final_metric", 4, int)
+
+        with pb.function("main") as f:
+            # Path metrics live in memory as individual static variables
+            # (as a C decoder would keep them), so every add-compare-select
+            # reads two *distinct* symbols that the allocation pass can
+            # split across the banks — the dual-bank Viterbi butterfly.
+            met = [pb.global_scalar("met%d" % s, int) for s in range(4)]
+            nm = [pb.global_scalar("nm%d" % s, int) for s in range(4)]
+
+            def metric_ref(state):
+                return met[state][0]
+
+            def new_metric_ref(state):
+                return nm[state][0]
+
+            f.assign(met[0][0], 0)
+            for s in range(1, 4):
+                f.assign(met[s][0], big)
+
+            def acs_step(n_expr, src_ref, dst_ref):
+                """One add-compare-select stage reading metrics through
+                *src_ref* and writing them through *dst_ref*."""
+                c0 = f.int_var("c0")
+                c1 = f.int_var("c1")
+                f.assign(c0, r0[n_expr])
+                f.assign(c1, r1[n_expr])
+                for s in range(4):
+                    (p0, b0), (p1, b1) = preds[s]
+                    cost0 = f.int_var()
+                    f.assign(
+                        cost0,
+                        src_ref(p0) + (c0 ^ o0[p0][b0]) + (c1 ^ o1[p0][b0]),
+                    )
+                    cost1 = f.int_var()
+                    f.assign(
+                        cost1,
+                        src_ref(p1) + (c0 ^ o0[p1][b1]) + (c1 ^ o1[p1][b1]),
+                    )
+                    best_cost = f.int_var()
+                    f.assign(best_cost, cost0)
+                    decision = f.int_var()
+                    f.assign(decision, p0)
+                    with f.if_(cost1 < cost0):
+                        f.assign(best_cost, cost1)
+                        f.assign(decision, p1)
+                    f.assign(dst_ref(s), best_cost)
+                    f.assign(sv[s][n_expr], decision)
+
+            with f.loop(SYMBOLS, name="n") as n:
+                acs_step(n, metric_ref, new_metric_ref)
+                for s in range(4):
+                    f.assign(metric_ref(s), new_metric_ref(s))
+
+            # Read each final metric once, publish it, and find the best
+            # final state.
+            finals = [f.int_var("fm%d" % s) for s in range(4)]
+            for s in range(4):
+                f.assign(finals[s], metric_ref(s))
+            for s in range(4):
+                f.assign(final_metric[s], finals[s])
+            best_state = f.index_var("best")
+            best_metric = f.int_var("bestm")
+            f.assign(best_state, 0)
+            f.assign(best_metric, finals[0])
+            for s in range(1, 4):
+                with f.if_(finals[s] < best_metric):
+                    f.assign(best_metric, finals[s])
+                    f.assign(best_state, s)
+
+            # Traceback: survivor loads feed the next state (serialized).
+            state = best_state
+            pos = f.index_var("pos")
+            f.assign(pos, SYMBOLS - 1)
+            with f.loop(SYMBOLS, name="tb"):
+                bit = f.int_var("bit")
+                f.assign(bit, (state >> 1) & 1)
+                f.assign(decoded[pos], bit)
+                prev = f.index_var("prev")
+                # survivors are split across four arrays: pick by state.
+                with f.if_(state == 0):
+                    f.assign(prev, sv[0][pos])
+                with f.else_():
+                    with f.if_(state == 1):
+                        f.assign(prev, sv[1][pos])
+                    with f.else_():
+                        with f.if_(state == 2):
+                            f.assign(prev, sv[2][pos])
+                        with f.else_():
+                            f.assign(prev, sv[3][pos])
+                f.assign(state, prev)
+                f.assign(pos, pos - 1)
+        return pb.build()
+
+    def expected(self):
+        decoded, metric = viterbi_reference(self._r0, self._r1)
+        return {"decoded": decoded, "final_metric": metric}

@@ -1,0 +1,90 @@
+"""Deterministic synthetic input data for the benchmark suite.
+
+The paper ran its benchmarks on speech samples, images, and modem bit
+streams we do not have; the results depend on access *patterns* and trip
+counts, not sample values, so seeded synthetic signals preserve every
+relevant behaviour (see DESIGN.md, substitution table).
+"""
+
+import math
+
+import numpy as np
+
+
+def rng(seed):
+    return np.random.default_rng(seed)
+
+
+def speech(n, seed=11):
+    """A speech-like signal: a few harmonics plus filtered noise."""
+    t = np.arange(n)
+    wave = (
+        0.55 * np.sin(2 * math.pi * 0.031 * t)
+        + 0.25 * np.sin(2 * math.pi * 0.093 * t + 0.7)
+        + 0.12 * np.sin(2 * math.pi * 0.217 * t + 1.9)
+    )
+    noise = rng(seed).normal(0.0, 0.05, n)
+    return (wave + noise).tolist()
+
+def samples(n, seed=7, scale=1.0):
+    """Plain white-noise samples in [-scale, scale]."""
+    return (rng(seed).uniform(-scale, scale, n)).tolist()
+
+
+def int_samples(n, low, high, seed=23):
+    """Integer samples in [low, high)."""
+    return rng(seed).integers(low, high, n).tolist()
+
+
+def image(height, width, seed=5, levels=256):
+    """A synthetic grayscale image: smooth gradient + blobs + noise."""
+    y, x = np.mgrid[0:height, 0:width]
+    base = 80 + 60 * np.sin(x / 6.0) + 40 * np.cos(y / 9.0)
+    blob = 70 * np.exp(-((x - width / 3.0) ** 2 + (y - height / 2.5) ** 2) / 40.0)
+    noise = rng(seed).normal(0, 6.0, (height, width))
+    img = np.clip(base + blob + noise, 0, levels - 1).astype(np.int64)
+    return img
+
+
+def hamming(n):
+    """Hamming window coefficients."""
+    return [0.54 - 0.46 * math.cos(2 * math.pi * i / (n - 1)) for i in range(n)]
+
+
+def fir_coefficients(taps, seed=3):
+    """Low-pass-like FIR coefficients (windowed sinc, normalized)."""
+    cutoff = 0.22
+    mid = (taps - 1) / 2.0
+    coeffs = []
+    for i in range(taps):
+        t = i - mid
+        value = 2 * cutoff if t == 0 else math.sin(2 * math.pi * cutoff * t) / (math.pi * t)
+        coeffs.append(value * (0.54 - 0.46 * math.cos(2 * math.pi * i / (taps - 1))))
+    total = sum(coeffs)
+    return [c / total for c in coeffs]
+
+
+def bit_reversal_permutation(n):
+    """Bit-reversed index table for an n-point radix-2 FFT."""
+    bits = n.bit_length() - 1
+    table = []
+    for i in range(n):
+        r = 0
+        v = i
+        for _ in range(bits):
+            r = (r << 1) | (v & 1)
+            v >>= 1
+        table.append(r)
+    return table
+
+
+def twiddles(n):
+    """(real, imag) twiddle-factor tables W_n^k for k in [0, n/2)."""
+    real = [math.cos(-2 * math.pi * k / n) for k in range(n // 2)]
+    imag = [math.sin(-2 * math.pi * k / n) for k in range(n // 2)]
+    return real, imag
+
+
+def bits(n, seed=17):
+    """A pseudo-random bit stream."""
+    return rng(seed).integers(0, 2, n).tolist()

@@ -1,0 +1,15 @@
+"""The 12 DSP kernels of paper Table 1.
+
+Each of the six algorithms is instantiated at a large and a small size,
+exactly as in the paper (e.g. ``fir_256_64`` is a 256-tap FIR filter
+processing 64 samples; ``fir_32_1`` a 32-tap filter processing one).
+"""
+
+from repro.workloads.kernels.fir import Fir
+from repro.workloads.kernels.fft import Fft
+from repro.workloads.kernels.iir import Iir
+from repro.workloads.kernels.latnrm import Latnrm
+from repro.workloads.kernels.lmsfir import LmsFir
+from repro.workloads.kernels.matmul import MatMul
+
+__all__ = ["Fft", "Fir", "Iir", "Latnrm", "LmsFir", "MatMul"]

@@ -1,0 +1,112 @@
+"""Radix-2, in-place, decimation-in-time FFT kernels (fft_1024, fft_256).
+
+Real and imaginary parts live in separate arrays (the standard DSP
+layout), so each butterfly's real-part and imaginary-part loads can pair
+across the banks; the bit-reversal permutation and the twiddle factors are
+precomputed tables, as is conventional for on-chip DSP deployments.
+"""
+
+import numpy as np
+
+from repro.frontend import ProgramBuilder
+from repro.workloads import data
+from repro.workloads.base import Workload
+
+
+class Fft(Workload):
+    """``n``-point radix-2 in-place DIT FFT."""
+
+    category = "kernel"
+    rtol = 1e-7
+    atol = 1e-7
+
+    def __init__(self, n):
+        if n & (n - 1):
+            raise ValueError("FFT size must be a power of two")
+        self.n = n
+        self.name = "fft_%d" % n
+        self._re = data.samples(n, seed=n + 1)
+        self._im = data.samples(n, seed=n + 2)
+
+    def build(self):
+        n = self.n
+        stages = n.bit_length() - 1
+        pb = ProgramBuilder(self.name)
+        re = pb.global_array("re", n, float, init=self._re)
+        im = pb.global_array("im", n, float, init=self._im)
+        tw_re, tw_im = data.twiddles(n)
+        wre = pb.global_array("wre", n // 2, float, init=tw_re)
+        wim = pb.global_array("wim", n // 2, float, init=tw_im)
+        brev = pb.global_array(
+            "brev", n, int, init=data.bit_reversal_permutation(n)
+        )
+
+        with pb.function("main") as f:
+            # Bit-reversal permutation (table-driven).
+            with f.loop(n, name="i") as i:
+                j = f.index_var("j")
+                f.assign(j, brev[i])
+                with f.if_(i < j):
+                    tr = f.float_var()
+                    ti = f.float_var()
+                    f.assign(tr, re[i])
+                    f.assign(ti, im[i])
+                    f.assign(re[i], re[j])
+                    f.assign(im[i], im[j])
+                    f.assign(re[j], tr)
+                    f.assign(im[j], ti)
+
+            # Butterfly stages: group size m doubles each stage.
+            m = f.index_var("m")          # group size
+            half = f.index_var("half")    # m / 2
+            stride = f.index_var("strd")  # twiddle stride = n / m
+            groups = f.index_var("grp")   # number of groups = n / m
+            f.assign(m, 2)
+            f.assign(half, 1)
+            f.assign(stride, n // 2)
+            f.assign(groups, n // 2)
+            with f.loop(stages):
+                base = f.index_var("base")
+                f.assign(base, 0)
+                with f.loop(groups):
+                    tw = f.index_var("tw")
+                    f.assign(tw, 0)
+                    with f.loop(half, name="j") as j:
+                        top = f.index_var("top")
+                        bot = f.index_var("bot")
+                        f.assign(top, base + j)
+                        f.assign(bot, top + half)
+                        wr = f.float_var("wr")
+                        wi = f.float_var("wi")
+                        f.assign(wr, wre[tw])
+                        f.assign(wi, wim[tw])
+                        br = f.float_var()
+                        bi = f.float_var()
+                        f.assign(br, re[bot])
+                        f.assign(bi, im[bot])
+                        tr = f.float_var("tr")
+                        ti = f.float_var("ti")
+                        f.assign(tr, wr * br - wi * bi)
+                        f.assign(ti, wr * bi + wi * br)
+                        ar = f.float_var()
+                        ai = f.float_var()
+                        f.assign(ar, re[top])
+                        f.assign(ai, im[top])
+                        f.assign(re[bot], ar - tr)
+                        f.assign(im[bot], ai - ti)
+                        f.assign(re[top], ar + tr)
+                        f.assign(im[top], ai + ti)
+                        f.assign(tw, tw + stride)
+                    f.assign(base, base + m)
+                f.assign(half, m)
+                f.assign(m, m * 2)
+                f.assign(stride, stride / 2)
+                f.assign(groups, groups / 2)
+        return pb.build()
+
+    def expected(self):
+        spectrum = np.fft.fft(np.asarray(self._re) + 1j * np.asarray(self._im))
+        return {
+            "re": spectrum.real.tolist(),
+            "im": spectrum.imag.tolist(),
+        }

@@ -1,0 +1,49 @@
+"""Finite Impulse Response filter kernels (fir_256_64, fir_32_1).
+
+The paper's flagship example (Figure 1): the inner product loop loads one
+element of the coefficient array and one element of the sample array per
+iteration — with the two arrays in different banks, both loads issue in a
+single long instruction.
+"""
+
+import numpy as np
+
+from repro.frontend import ProgramBuilder
+from repro.workloads import data
+from repro.workloads.base import Workload
+
+
+class Fir(Workload):
+    """``taps``-tap FIR filter over ``samples`` output samples."""
+
+    category = "kernel"
+
+    def __init__(self, taps, samples):
+        self.taps = taps
+        self.samples = samples
+        self.name = "fir_%d_%d" % (taps, samples)
+        self._coeffs = data.fir_coefficients(taps)
+        self._input = data.samples(taps + samples - 1, seed=taps + samples)
+
+    def build(self):
+        pb = ProgramBuilder(self.name)
+        coeff = pb.global_array("coeff", self.taps, float, init=self._coeffs)
+        x = pb.global_array("x", len(self._input), float, init=self._input)
+        y = pb.global_array("y", self.samples, float)
+        with pb.function("main") as f:
+            with f.loop(self.samples, name="n") as n:
+                acc = f.float_var("acc")
+                f.assign(acc, 0.0)
+                with f.loop(self.taps, name="k") as k:
+                    f.assign(acc, acc + coeff[k] * x[n + k])
+                f.assign(y[n], acc)
+        return pb.build()
+
+    def expected(self):
+        coeffs = np.asarray(self._coeffs)
+        x = np.asarray(self._input)
+        y = [
+            float(np.dot(coeffs, x[n : n + self.taps]))
+            for n in range(self.samples)
+        ]
+        return {"y": y}

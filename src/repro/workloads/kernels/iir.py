@@ -1,0 +1,99 @@
+"""Infinite Impulse Response filter kernels (iir_4_64, iir_1_1).
+
+A cascade of direct-form-II biquad sections.  Coefficients live in five
+arrays and the two delay states per section in two more, so a single
+section iteration issues nine memory operations with abundant pairing
+opportunities for the allocation pass.
+"""
+
+import math
+
+from repro.frontend import ProgramBuilder
+from repro.workloads import data
+from repro.workloads.base import Workload
+
+
+def _stable_biquads(sections, seed):
+    """Mildly-damped, stable biquad coefficient sets."""
+    rng = data.rng(seed)
+    coeffs = []
+    for _ in range(sections):
+        r = rng.uniform(0.4, 0.85)
+        theta = rng.uniform(0.3, 2.7)
+        a1 = -2 * r * math.cos(theta)
+        a2 = r * r
+        b0 = rng.uniform(0.5, 1.2)
+        b1 = rng.uniform(-0.8, 0.8)
+        b2 = rng.uniform(-0.6, 0.6)
+        coeffs.append((b0, b1, b2, a1, a2))
+    return coeffs
+
+
+class Iir(Workload):
+    """``sections``-biquad cascade over ``samples`` input samples."""
+
+    category = "kernel"
+    rtol = 1e-9
+
+    def __init__(self, sections, samples):
+        self.sections = sections
+        self.samples = samples
+        self.name = "iir_%d_%d" % (sections, samples)
+        self._coeffs = _stable_biquads(sections, seed=sections * 31 + samples)
+        self._input = data.samples(samples, seed=sections + samples)
+
+    def build(self):
+        pb = ProgramBuilder(self.name)
+        s = self.sections
+        # Denominator coefficients are stored negated, the standard DSP
+        # idiom that turns the feedback path into multiply-accumulates.
+        b0 = pb.global_array("b0", s, float, init=[c[0] for c in self._coeffs])
+        b1 = pb.global_array("b1", s, float, init=[c[1] for c in self._coeffs])
+        b2 = pb.global_array("b2", s, float, init=[c[2] for c in self._coeffs])
+        na1 = pb.global_array("na1", s, float, init=[-c[3] for c in self._coeffs])
+        na2 = pb.global_array("na2", s, float, init=[-c[4] for c in self._coeffs])
+        d1 = pb.global_array("d1", s, float)
+        d2 = pb.global_array("d2", s, float)
+        x = pb.global_array("x", self.samples, float, init=self._input)
+        y = pb.global_array("y", self.samples, float)
+
+        with pb.function("main") as f:
+            with f.loop(self.samples, name="n") as n:
+                v = f.float_var("v")
+                f.assign(v, x[n])
+                with f.loop(s, name="sec") as sec:
+                    s1 = f.float_var("s1")
+                    s2 = f.float_var("s2")
+                    f.assign(s1, d1[sec])
+                    f.assign(s2, d2[sec])
+                    # Feedback chain: w = v + (-a1)*s1 + (-a2)*s2
+                    w = f.float_var("w")
+                    f.assign(w, v)
+                    f.assign(w, w + na1[sec] * s1)
+                    f.assign(w, w + na2[sec] * s2)
+                    # Feedforward tail runs in parallel with the feedback
+                    # chain: t = b1*s1 + b2*s2, then t += b0*w.
+                    t = f.float_var("t")
+                    f.assign(t, b1[sec] * s1)
+                    f.assign(t, t + b2[sec] * s2)
+                    f.assign(t, t + b0[sec] * w)
+                    f.assign(d2[sec], s1)
+                    f.assign(d1[sec], w)
+                    f.assign(v, t)
+                f.assign(y[n], v)
+        return pb.build()
+
+    def expected(self):
+        d1 = [0.0] * self.sections
+        d2 = [0.0] * self.sections
+        out = []
+        for sample in self._input:
+            v = sample
+            for s in range(self.sections):
+                b0, b1, b2, a1, a2 = self._coeffs[s]
+                w = v - a1 * d1[s] - a2 * d2[s]
+                v = b0 * w + b1 * d1[s] + b2 * d2[s]
+                d2[s] = d1[s]
+                d1[s] = w
+            out.append(v)
+        return {"y": out}

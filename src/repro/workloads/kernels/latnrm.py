@@ -1,0 +1,77 @@
+"""Normalized lattice filter kernels (latnrm_32_64, latnrm_8_1).
+
+The DSPstone-style normalized lattice: per sample, a forward pass over the
+reflection stages updates the forward residual against the state array,
+then the state propagates backward.  Reflection coefficients and state
+live in separate arrays, exposing load pairs for the allocation pass.
+"""
+
+from repro.frontend import ProgramBuilder
+from repro.workloads import data
+from repro.workloads.base import Workload
+
+
+class Latnrm(Workload):
+    """``order``-stage normalized lattice over ``samples`` samples."""
+
+    category = "kernel"
+
+    def __init__(self, order, samples):
+        self.order = order
+        self.samples = samples
+        self.name = "latnrm_%d_%d" % (order, samples)
+        rng = data.rng(order * 13 + samples)
+        self._k = rng.uniform(-0.7, 0.7, order).tolist()
+        self._c = rng.uniform(0.1, 0.9, order).tolist()
+        self._input = data.samples(samples, seed=order + samples + 5)
+
+    def build(self):
+        pb = ProgramBuilder(self.name)
+        order = self.order
+        k = pb.global_array("k", order, float, init=self._k)
+        c = pb.global_array("c", order, float, init=self._c)
+        g = pb.global_array("g", order, float)
+        x = pb.global_array("x", self.samples, float, init=self._input)
+        y = pb.global_array("y", self.samples, float)
+
+        with pb.function("main") as f:
+            with f.loop(self.samples, name="n") as n:
+                fwd = f.float_var("fwd")
+                f.assign(fwd, x[n])
+                # Forward recursion against the stored backward residuals.
+                with f.loop(order, name="s") as s:
+                    ks = f.float_var("ks")
+                    gs = f.float_var("gs")
+                    f.assign(ks, k[s])
+                    f.assign(gs, g[s])
+                    newf = f.float_var("newf")
+                    f.assign(newf, fwd - ks * gs)
+                    f.assign(g[s], gs + ks * newf)
+                    f.assign(fwd, newf)
+                # Output tap: weighted sum of the (updated) residuals.
+                acc = f.float_var("acc")
+                f.assign(acc, 0.0)
+                with f.loop(order, name="t") as t:
+                    f.assign(acc, acc + c[t] * g[t])
+                # State shift: backward residuals move one stage down.
+                with f.for_range(0, order - 1, name="m") as m:
+                    f.assign(g[order - 1 - m], g[order - 2 - m])
+                f.assign(g[0], fwd)
+                f.assign(y[n], acc)
+        return pb.build()
+
+    def expected(self):
+        g = [0.0] * self.order
+        out = []
+        for sample in self._input:
+            fwd = sample
+            for s in range(self.order):
+                newf = fwd - self._k[s] * g[s]
+                g[s] = g[s] + self._k[s] * newf
+                fwd = newf
+            acc = sum(self._c[t] * g[t] for t in range(self.order))
+            for m in range(self.order - 1):
+                g[self.order - 1 - m] = g[self.order - 2 - m]
+            g[0] = fwd
+            out.append(acc)
+        return {"y": out}

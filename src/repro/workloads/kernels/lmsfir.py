@@ -1,0 +1,66 @@
+"""Least-mean-squares adaptive FIR kernels (lmsfir_32_64, lmsfir_8_1).
+
+Per sample: an inner-product over the delay line (coefficient loads pair
+with sample loads), then the coefficient-update loop, which re-reads the
+delay line and read-modify-writes the coefficient array.
+"""
+
+from repro.frontend import ProgramBuilder
+from repro.workloads import data
+from repro.workloads.base import Workload
+
+
+class LmsFir(Workload):
+    """``taps``-tap LMS adaptive FIR over ``samples`` samples."""
+
+    category = "kernel"
+    rtol = 1e-9
+
+    def __init__(self, taps, samples, mu=0.02):
+        self.taps = taps
+        self.samples = samples
+        self.mu = mu
+        self.name = "lmsfir_%d_%d" % (taps, samples)
+        self._input = data.samples(taps + samples - 1, seed=taps * 7 + samples)
+        self._desired = data.samples(samples, seed=taps * 7 + samples + 1)
+
+    def build(self):
+        pb = ProgramBuilder(self.name)
+        taps = self.taps
+        h = pb.global_array("h", taps, float)
+        x = pb.global_array("x", len(self._input), float, init=self._input)
+        d = pb.global_array("d", self.samples, float, init=self._desired)
+        y = pb.global_array("y", self.samples, float)
+        err = pb.global_array("err", self.samples, float)
+
+        with pb.function("main") as f:
+            with f.loop(self.samples, name="n") as n:
+                acc = f.float_var("acc")
+                f.assign(acc, 0.0)
+                with f.loop(taps, name="k") as k:
+                    f.assign(acc, acc + h[k] * x[n + k])
+                e = f.float_var("e")
+                f.assign(e, d[n] - acc)
+                step = f.float_var("step")
+                f.assign(step, e * self.mu)
+                with f.loop(taps, name="u") as u:
+                    f.assign(h[u], h[u] + step * x[n + u])
+                f.assign(y[n], acc)
+                f.assign(err[n], e)
+        return pb.build()
+
+    def expected(self):
+        h = [0.0] * self.taps
+        ys = []
+        es = []
+        for n in range(self.samples):
+            acc = sum(
+                h[k] * self._input[n + k] for k in range(self.taps)
+            )
+            e = self._desired[n] - acc
+            step = e * self.mu
+            for u in range(self.taps):
+                h[u] = h[u] + step * self._input[n + u]
+            ys.append(acc)
+            es.append(e)
+        return {"y": ys, "err": es}

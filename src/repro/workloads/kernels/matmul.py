@@ -1,0 +1,53 @@
+"""Matrix multiplication kernels (mult_10_10, mult_4_4).
+
+``C = A x B`` over row-major square matrices; the dot-product inner loop
+loads one element of A and one of B per iteration — the canonical
+two-array pattern dual banks exist for.
+"""
+
+import numpy as np
+
+from repro.frontend import ProgramBuilder
+from repro.workloads import data
+from repro.workloads.base import Workload
+
+
+class MatMul(Workload):
+    """``n`` x ``n`` matrix multiply."""
+
+    category = "kernel"
+    rtol = 1e-9
+
+    def __init__(self, n):
+        self.n = n
+        self.name = "mult_%d_%d" % (n, n)
+        self._a = data.samples(n * n, seed=n * 3 + 1)
+        self._b = data.samples(n * n, seed=n * 3 + 2)
+
+    def build(self):
+        pb = ProgramBuilder(self.name)
+        n = self.n
+        a = pb.global_array("A", n * n, float, init=self._a)
+        b = pb.global_array("B", n * n, float, init=self._b)
+        c = pb.global_array("C", n * n, float)
+
+        with pb.function("main") as f:
+            with f.loop(n, name="i") as i:
+                arow = f.index_var("arow")
+                f.assign(arow, i * n)
+                with f.loop(n, name="j") as j:
+                    acc = f.float_var("acc")
+                    f.assign(acc, 0.0)
+                    bcol = f.index_var("bcol")
+                    f.assign(bcol, j)
+                    with f.loop(n, name="k") as k:
+                        f.assign(acc, acc + a[arow + k] * b[bcol])
+                        f.assign(bcol, bcol + n)
+                    f.assign(c[arow + j], acc)
+        return pb.build()
+
+    def expected(self):
+        n = self.n
+        a = np.asarray(self._a).reshape(n, n)
+        b = np.asarray(self._b).reshape(n, n)
+        return {"C": (a @ b).reshape(-1).tolist()}

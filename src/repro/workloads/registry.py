@@ -1,0 +1,118 @@
+"""Name -> workload registry for the whole suite (paper Tables 1 and 2)."""
+
+from repro.workloads.kernels.fir import Fir
+from repro.workloads.kernels.fft import Fft
+from repro.workloads.kernels.iir import Iir
+from repro.workloads.kernels.latnrm import Latnrm
+from repro.workloads.kernels.lmsfir import LmsFir
+from repro.workloads.kernels.matmul import MatMul
+
+
+def _kernels():
+    return [
+        Fft(1024),
+        Fft(256),
+        Fir(256, 64),
+        Fir(32, 1),
+        Iir(4, 64),
+        Iir(1, 1),
+        Latnrm(32, 64),
+        Latnrm(8, 1),
+        LmsFir(32, 64),
+        LmsFir(8, 1),
+        MatMul(10),
+        MatMul(4),
+    ]
+
+
+def _applications():
+    from repro.workloads.apps.adpcm import Adpcm
+    from repro.workloads.apps.lpc import Lpc
+    from repro.workloads.apps.spectral import Spectral
+    from repro.workloads.apps.edge_detect import EdgeDetect
+    from repro.workloads.apps.compress import Compress
+    from repro.workloads.apps.histogram import Histogram
+    from repro.workloads.apps.v32encode import V32Encode
+    from repro.workloads.apps.g721 import G721
+    from repro.workloads.apps.trellis import Trellis
+
+    return [
+        Adpcm(),
+        Lpc(),
+        Spectral(),
+        EdgeDetect(),
+        Compress(),
+        Histogram(),
+        V32Encode(),
+        G721("ml", "encode"),
+        G721("ml", "decode"),
+        G721("wf", "encode"),
+        Trellis(),
+    ]
+
+
+class _LazyTable(dict):
+    """A name->workload table whose entries build on first access."""
+
+    def __init__(self, factory):
+        super().__init__()
+        self._factory = factory
+        self._built = False
+
+    def _ensure(self):
+        if not self._built:
+            self._built = True
+            for workload in self._factory():
+                super().__setitem__(workload.name, workload)
+
+    def __getitem__(self, key):
+        self._ensure()
+        return super().__getitem__(key)
+
+    def __iter__(self):
+        self._ensure()
+        return super().__iter__()
+
+    def __len__(self):
+        self._ensure()
+        return super().__len__()
+
+    def __contains__(self, key):
+        self._ensure()
+        return super().__contains__(key)
+
+    def keys(self):
+        self._ensure()
+        return super().keys()
+
+    def values(self):
+        self._ensure()
+        return super().values()
+
+    def items(self):
+        self._ensure()
+        return super().items()
+
+
+#: Paper Figure 7 order: k1..k12.
+KERNELS = _LazyTable(_kernels)
+
+#: Paper Figure 8 order: a1..a11.
+APPLICATIONS = _LazyTable(_applications)
+
+
+def all_workloads():
+    """Every workload, kernels first (paper Tables 1 and 2)."""
+    table = {}
+    table.update(KERNELS.items())
+    table.update(APPLICATIONS.items())
+    return table
+
+
+def get_workload(name):
+    table = all_workloads()
+    if name not in table:
+        raise KeyError(
+            "unknown workload %r (have: %s)" % (name, ", ".join(sorted(table)))
+        )
+    return table[name]

@@ -1,0 +1,77 @@
+"""Tests for call-graph construction and recursion detection."""
+
+import pytest
+
+from repro.analysis.callgraph import build_callgraph, find_recursion
+from repro.frontend import ProgramBuilder
+from repro.ir.operations import OpCode, Operation
+from repro.ir.validate import IRValidationError, validate_module
+
+
+def _module():
+    pb = ProgramBuilder("t")
+    out = pb.global_scalar("out", float)
+    with pb.function("leaf", params=[("x", float)], returns=float) as f:
+        f.ret(f.param("x") + 1.0)
+    with pb.function("mid", params=[("x", float)], returns=float) as f:
+        a = f.float_var("a")
+        f.assign(a, pb.get("leaf")(f.param("x")))
+        f.assign(a, a + pb.get("leaf")(a))
+        f.ret(a)
+    with pb.function("main") as f:
+        f.assign(out[0], pb.get("mid")(1.0))
+    return pb.build()
+
+
+def test_edges_and_counts():
+    graph = build_callgraph(_module())
+    assert graph.callees("main") == ["mid"]
+    assert graph.callees("mid") == ["leaf"]
+    assert graph.callees("leaf") == []
+    assert graph.callers("leaf") == ["mid"]
+    assert graph.call_sites("mid", "leaf") == 2
+    assert graph.call_sites("main", "leaf") == 0
+
+
+def test_reachability():
+    graph = build_callgraph(_module())
+    assert graph.reachable_from("main") == {"main", "mid", "leaf"}
+    assert graph.reachable_from("leaf") == {"leaf"}
+
+
+def test_topological_order_callees_first():
+    graph = build_callgraph(_module())
+    order = graph.topological_order()
+    assert order.index("leaf") < order.index("mid") < order.index("main")
+
+
+def _make_recursive(module):
+    leaf = module.function("leaf")
+    # leaf calls mid: leaf -> mid -> leaf cycle.
+    op = Operation(
+        OpCode.CALL,
+        sources=(leaf.param_registers[0],),
+        callee="mid",
+    )
+    leaf.blocks[0].ops.insert(0, op)
+    return module
+
+
+def test_recursion_detected():
+    module = _make_recursive(_module())
+    cycle = find_recursion(build_callgraph(module))
+    assert cycle is not None
+    assert cycle[0] == cycle[-1]
+    assert {"leaf", "mid"} <= set(cycle)
+
+
+def test_validator_rejects_recursion():
+    module = _make_recursive(_module())
+    with pytest.raises(IRValidationError, match="recursive"):
+        validate_module(module)
+
+
+def test_topological_order_raises_on_recursion():
+    graph = build_callgraph(_make_recursive(_module()))
+    with pytest.raises(ValueError, match="recursive"):
+        graph.topological_order()

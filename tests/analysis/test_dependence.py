@@ -1,0 +1,154 @@
+"""Tests for the per-block data-dependence graph."""
+
+from repro.analysis.dependence import DepKind, build_dependence_graph
+from repro.ir.operations import OpCode, Operation
+from repro.ir.symbols import Symbol
+from repro.ir.types import RegClass
+from repro.ir.values import Immediate, VirtualRegister
+
+
+def _reg(rclass=RegClass.INT, index=0):
+    return VirtualRegister(index, rclass)
+
+
+def test_flow_dependence():
+    r1, r2, r3 = _reg(index=1), _reg(index=2), _reg(index=3)
+    ops = [
+        Operation(OpCode.CONST, dest=r1, sources=(Immediate(1),)),
+        Operation(OpCode.ADD, dest=r2, sources=(r1, r1)),
+        Operation(OpCode.ADD, dest=r3, sources=(r2, r1)),
+    ]
+    g = build_dependence_graph(ops)
+    assert g.has_edge(0, 1, DepKind.FLOW)
+    assert g.has_edge(1, 2, DepKind.FLOW)
+    assert g.has_edge(0, 2, DepKind.FLOW)
+
+
+def test_anti_dependence():
+    r1, r2 = _reg(index=1), _reg(index=2)
+    ops = [
+        Operation(OpCode.ADD, dest=r2, sources=(r1, r1)),   # reads r1
+        Operation(OpCode.CONST, dest=r1, sources=(Immediate(0),)),  # writes r1
+    ]
+    g = build_dependence_graph(ops)
+    assert g.has_edge(0, 1, DepKind.ANTI)
+    assert not g.has_edge(0, 1, DepKind.FLOW)
+    assert g.anti_preds(1) == [0]
+    assert g.hard_preds(1) == []
+
+
+def test_output_dependence():
+    r1 = _reg(index=1)
+    ops = [
+        Operation(OpCode.CONST, dest=r1, sources=(Immediate(1),)),
+        Operation(OpCode.CONST, dest=r1, sources=(Immediate(2),)),
+    ]
+    g = build_dependence_graph(ops)
+    assert g.has_edge(0, 1, DepKind.OUTPUT)
+
+
+def test_memory_dependences_same_symbol():
+    sym = Symbol("a", size=8)
+    idx = _reg(RegClass.ADDR, 9)
+    v = _reg(RegClass.FLOAT, 1)
+    load = Operation(OpCode.LOAD, dest=v, sources=(idx,), symbol=sym)
+    store = Operation(OpCode.STORE, sources=(v, idx), symbol=sym)
+    load2 = Operation(
+        OpCode.LOAD, dest=_reg(RegClass.FLOAT, 2), sources=(idx,), symbol=sym
+    )
+    store2 = Operation(OpCode.STORE, sources=(v, idx), symbol=sym)
+    g = build_dependence_graph([load, store, load2, store2])
+    assert g.has_edge(0, 1)  # load -> store: anti (plus flow via v)
+    assert DepKind.ANTI in g.succs[0][1]
+    assert g.has_edge(1, 2, DepKind.FLOW)  # store -> load
+    assert g.has_edge(1, 3, DepKind.OUTPUT)  # store -> store
+
+
+def test_no_dependence_between_different_symbols():
+    a = Symbol("a", size=4)
+    b = Symbol("b", size=4)
+    idx = Immediate(0)
+    v = _reg(RegClass.FLOAT, 1)
+    w = _reg(RegClass.FLOAT, 2)
+    store_a = Operation(OpCode.STORE, sources=(v, idx), symbol=a)
+    load_b = Operation(OpCode.LOAD, dest=w, sources=(idx,), symbol=b)
+    g = build_dependence_graph([store_a, load_b])
+    assert not g.has_edge(0, 1)
+
+
+def test_distinct_constant_indices_disambiguate():
+    a = Symbol("a", size=4)
+    v = _reg(RegClass.FLOAT, 1)
+    w = _reg(RegClass.FLOAT, 2)
+    store0 = Operation(OpCode.STORE, sources=(v, Immediate(0)), symbol=a)
+    load1 = Operation(OpCode.LOAD, dest=w, sources=(Immediate(1),), symbol=a)
+    load0 = Operation(OpCode.LOAD, dest=w, sources=(Immediate(0),), symbol=a)
+    g = build_dependence_graph([store0, load1])
+    assert not g.has_edge(0, 1)
+    g2 = build_dependence_graph([store0, load0])
+    assert g2.has_edge(0, 1, DepKind.FLOW)
+
+
+def test_offset_addressing_participates_in_disambiguation():
+    a = Symbol("a", size=8)
+    v = _reg(RegClass.FLOAT, 1)
+    w = _reg(RegClass.FLOAT, 2)
+    store = Operation(
+        OpCode.STORE, sources=(v, Immediate(0), Immediate(2)), symbol=a
+    )
+    load_same = Operation(
+        OpCode.LOAD, dest=w, sources=(Immediate(1), Immediate(1)), symbol=a
+    )
+    load_other = Operation(
+        OpCode.LOAD, dest=w, sources=(Immediate(1), Immediate(3)), symbol=a
+    )
+    g = build_dependence_graph([store, load_same])
+    assert g.has_edge(0, 1, DepKind.FLOW)  # both address element 2
+    g2 = build_dependence_graph([store, load_other])
+    assert not g2.has_edge(0, 1)
+
+
+def test_opaque_symbol_conflicts_with_everything():
+    a = Symbol("a", size=4)
+    o = Symbol("o", size=4, opaque=True)
+    v = _reg(RegClass.FLOAT, 1)
+    w = _reg(RegClass.FLOAT, 2)
+    store_o = Operation(OpCode.STORE, sources=(v, Immediate(0)), symbol=o)
+    load_a = Operation(OpCode.LOAD, dest=w, sources=(Immediate(1),), symbol=a)
+    g = build_dependence_graph([store_o, load_a])
+    assert g.has_edge(0, 1, DepKind.FLOW)
+
+
+def test_shadow_store_pair_does_not_conflict():
+    a = Symbol("a", size=4)
+    v = _reg(RegClass.FLOAT, 1)
+    idx = Immediate(0)
+    primary = Operation(OpCode.STORE, sources=(v, idx), symbol=a)
+    shadow = Operation(OpCode.STORE, sources=(v, idx), symbol=a, shadow=True)
+    g = build_dependence_graph([primary, shadow])
+    assert not g.has_edge(0, 1)
+
+
+def test_call_is_a_memory_barrier():
+    a = Symbol("a", size=4)
+    v = _reg(RegClass.FLOAT, 1)
+    store = Operation(OpCode.STORE, sources=(v, Immediate(0)), symbol=a)
+    call = Operation(OpCode.CALL, sources=(), callee="f")
+    load = Operation(
+        OpCode.LOAD, dest=_reg(RegClass.FLOAT, 2), sources=(Immediate(0),), symbol=a
+    )
+    g = build_dependence_graph([store, call, load])
+    assert g.has_edge(0, 1, DepKind.FLOW)
+    assert g.has_edge(1, 2, DepKind.FLOW)
+
+
+def test_priorities_count_descendants():
+    r1, r2, r3, r4 = (_reg(index=i) for i in range(1, 5))
+    ops = [
+        Operation(OpCode.CONST, dest=r1, sources=(Immediate(1),)),
+        Operation(OpCode.ADD, dest=r2, sources=(r1, r1)),
+        Operation(OpCode.ADD, dest=r3, sources=(r2, r2)),
+        Operation(OpCode.CONST, dest=r4, sources=(Immediate(5),)),
+    ]
+    g = build_dependence_graph(ops)
+    assert g.priorities() == [2, 1, 0, 0]

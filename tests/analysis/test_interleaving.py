@@ -1,0 +1,101 @@
+"""Tests for the low-order interleaving analysis (paper Section 3.2)."""
+
+from repro.analysis.interleaving import analyze_low_order, summarize
+from repro.frontend import ProgramBuilder
+from repro.partition.graph_builder import build_interference_graph
+
+
+def _graph_for(build_body):
+    pb = ProgramBuilder("t")
+    tbl = pb.global_array("tbl", 32, float, init=[1.0] * 32)
+    out = pb.global_scalar("out", float)
+    with pb.function("main") as f:
+        build_body(f, tbl, out)
+    return build_interference_graph(pb.build())
+
+
+def test_odd_constant_difference_works():
+    def body(f, tbl, out):
+        acc = f.float_var("acc")
+        f.assign(acc, 0.0)
+        with f.loop(8) as i:
+            p = f.index_var("p")
+            f.assign(p, i * 2)
+            f.assign(acc, acc + tbl[p] * tbl[p + 1])
+        f.assign(out[0], acc)
+
+    verdicts = analyze_low_order(_graph_for(body))
+    assert verdicts
+    assert all(v.verdict == "works" and v.difference == 1 for v in verdicts)
+
+
+def test_even_constant_difference_fails():
+    def body(f, tbl, out):
+        acc = f.float_var("acc")
+        f.assign(acc, 0.0)
+        with f.loop(8) as i:
+            p = f.index_var("p")
+            f.assign(p, i * 4)
+            f.assign(acc, acc + tbl[p] * tbl[p + 2])
+        f.assign(out[0], acc)
+
+    verdicts = analyze_low_order(_graph_for(body))
+    assert verdicts
+    assert all(v.verdict == "fails" and v.difference == 2 for v in verdicts)
+
+
+def test_runtime_lag_is_unknown():
+    """The paper's Figure 6 autocorrelation: the lag m is a loop index,
+    so low-order interleaving cannot be guaranteed to help — its exact
+    argument for preferring duplication."""
+
+    def body(f, tbl, out):
+        acc = f.float_var("acc")
+        f.assign(acc, 0.0)
+        with f.loop(4, name="m") as m:
+            with f.for_range(0, 8, name="n") as n:
+                f.assign(acc, acc + tbl[n] * tbl[n + m])
+        f.assign(out[0], acc)
+
+    verdicts = analyze_low_order(_graph_for(body))
+    assert verdicts
+    assert all(v.verdict == "unknown" for v in verdicts)
+
+
+def test_lpc_autocorrelation_is_unknown():
+    from repro.workloads.registry import APPLICATIONS
+
+    graph = build_interference_graph(APPLICATIONS["lpc"].build())
+    verdicts = [
+        v for v in analyze_low_order(graph) if v.symbol.name == "ws"
+    ]
+    assert verdicts
+    counts = summarize(verdicts)
+    assert counts["unknown"] >= 1
+
+
+def test_v32_constellation_would_work_with_low_order():
+    from repro.workloads.registry import APPLICATIONS
+
+    graph = build_interference_graph(APPLICATIONS["V32encode"].build())
+    verdicts = [
+        v for v in analyze_low_order(graph) if v.symbol.name == "cpts"
+    ]
+    assert verdicts
+    assert all(v.verdict == "works" for v in verdicts)
+
+
+def test_summarize_counts():
+    def body(f, tbl, out):
+        acc = f.float_var("acc")
+        f.assign(acc, 0.0)
+        with f.loop(8) as i:
+            p = f.index_var("p")
+            f.assign(p, i * 2)
+            f.assign(acc, acc + tbl[p] * tbl[p + 1])
+        f.assign(out[0], acc)
+
+    verdicts = analyze_low_order(_graph_for(body))
+    counts = summarize(verdicts)
+    assert counts["works"] == len(verdicts)
+    assert counts["fails"] == 0

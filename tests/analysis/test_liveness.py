@@ -1,0 +1,104 @@
+"""Tests for virtual-register liveness analysis."""
+
+from repro.analysis.liveness import compute_liveness
+from repro.frontend import ProgramBuilder
+
+
+def _liveness_for(build):
+    module = build()
+    return module, compute_liveness(module.main)
+
+
+def test_straightline_intervals_ordered():
+    pb = ProgramBuilder("t")
+    out = pb.global_scalar("out", float)
+    with pb.function("main") as f:
+        a = f.float_var("a")
+        b = f.float_var("b")
+        f.assign(a, 1.0)
+        f.assign(b, a + 1.0)
+        f.assign(out[0], b)
+    module = pb.build()
+    info = compute_liveness(module.main)
+    (astart, aend) = info.intervals[_find(module, "a")]
+    (bstart, bend) = info.intervals[_find(module, "b")]
+    assert astart < bstart
+    assert aend <= bend
+
+
+def _find(module, name):
+    for op in module.main.operations():
+        if op.dest is not None and op.dest.name == name:
+            return op.dest
+    raise AssertionError("no register named %r" % name)
+
+
+def test_loop_carried_register_live_across_loop_span():
+    pb = ProgramBuilder("t")
+    out = pb.global_scalar("out", float)
+    with pb.function("main") as f:
+        acc = f.float_var("acc")
+        f.assign(acc, 0.0)
+        with f.loop(4):
+            f.assign(acc, acc + 1.0)
+        f.assign(out[0], acc)
+    module = pb.build()
+    info = compute_liveness(module.main)
+    acc_reg = _find(module, "acc")
+    start, end = info.intervals[acc_reg]
+    body = [b for b in module.main.blocks if b.loop_depth == 1][0]
+    body_positions = [info.positions[id(op)] for op in body.ops]
+    # acc must be live over every body position.
+    assert start <= min(body_positions)
+    assert end >= max(body_positions)
+
+
+def test_live_in_of_loop_body_contains_loop_state():
+    pb = ProgramBuilder("t")
+    out = pb.global_scalar("out", float)
+    with pb.function("main") as f:
+        acc = f.float_var("acc")
+        f.assign(acc, 0.0)
+        with f.loop(4):
+            f.assign(acc, acc + 2.0)
+        f.assign(out[0], acc)
+    module = pb.build()
+    info = compute_liveness(module.main)
+    acc_reg = _find(module, "acc")
+    body = [b for b in module.main.blocks if b.loop_depth == 1][0]
+    assert acc_reg in info.live_in[body.label]
+    assert acc_reg in info.live_out[body.label]
+
+
+def test_branch_join_liveness():
+    pb = ProgramBuilder("t")
+    out = pb.global_scalar("out", int)
+    with pb.function("main") as f:
+        c = f.int_var("c")
+        v = f.int_var("v")
+        f.assign(c, 1)
+        with f.if_(c > 0):
+            f.assign(v, 10)
+        with f.else_():
+            f.assign(v, 20)
+        f.assign(out[0], v)
+    module = pb.build()
+    info = compute_liveness(module.main)
+    v_reg = _find(module, "v")
+    # v is live out of both arms (used at the join).
+    arms = [b for b in module.main.blocks if "then" in b.label or "ifjoin" in b.label]
+    assert any(v_reg in info.live_out[b.label] for b in arms)
+
+
+def test_dead_register_has_point_interval():
+    pb = ProgramBuilder("t")
+    out = pb.global_scalar("out", int)
+    with pb.function("main") as f:
+        dead = f.int_var("dead")
+        f.assign(dead, 5)
+        f.assign(out[0], 1)
+    module = pb.build()
+    info = compute_liveness(module.main)
+    dead_reg = _find(module, "dead")
+    start, end = info.intervals[dead_reg]
+    assert start == end

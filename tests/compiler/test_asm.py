@@ -1,0 +1,109 @@
+"""Tests for the DSP-style assembly listing."""
+
+from repro.compiler import CompileOptions, compile_module
+from repro.frontend import ProgramBuilder
+from repro.machine.asm import format_asm
+from repro.partition.strategies import Strategy
+
+
+def _fir(software_pipelining=False):
+    pb = ProgramBuilder("fir")
+    coeff = pb.global_array("coeff", 8, float, init=[0.5] * 8)
+    x = pb.global_array("x", 8, float, init=[1.0] * 8)
+    out = pb.global_scalar("out", float)
+    with pb.function("main") as f:
+        acc = f.float_var("acc")
+        f.assign(acc, 0.0)
+        with f.loop(8) as k:
+            f.assign(acc, acc + coeff[k] * x[k])
+        f.assign(out[0], acc)
+    return compile_module(
+        pb.build(),
+        CompileOptions(strategy=Strategy.CB, software_pipelining=software_pipelining),
+    )
+
+
+def test_listing_has_x_and_y_move_columns():
+    text = format_asm(_fir().program)
+    assert "x:(" in text
+    assert "y:(" in text
+    assert "do #" in text
+    assert "fmac" in text
+
+
+def test_pipelined_listing_shows_figure1_line():
+    """One line must carry MAC + X move + Y move together — the paper's
+    Figure 1(b) steady state."""
+    text = format_asm(_fir(software_pipelining=True).program)
+    figure1_lines = [
+        line
+        for line in text.splitlines()
+        if "fmac" in line and "x:(" in line and "y:(" in line
+    ]
+    assert figure1_lines, text
+
+
+def test_listing_includes_labels_and_loop_end_comments():
+    text = format_asm(_fir().program)
+    assert "main.body1:" in text
+    assert "; end main.L0" in text
+
+
+def test_call_and_branch_syntax():
+    pb = ProgramBuilder("t")
+    out = pb.global_scalar("out", float)
+    with pb.function("leaf", returns=float) as f:
+        f.ret(1.0)
+    with pb.function("main") as f:
+        v = f.float_var("v")
+        f.assign(v, pb.get("leaf")())
+        with f.if_(v > 0.0):
+            f.assign(out[0], v)
+    text = format_asm(
+        compile_module(pb.build(), strategy=Strategy.CB).program
+    )
+    assert "jsr leaf" in text
+    assert "brf" in text
+    assert "ret" in text
+
+
+def test_locked_stores_flagged():
+    pb = ProgramBuilder("t")
+    sig = pb.global_array("sig", 8, float, init=[0.0] * 8)
+    out = pb.global_scalar("out", float)
+    with pb.function("main") as f:
+        with f.loop(8) as i:
+            f.assign(sig[i], 1.0)
+        acc = f.float_var("acc")
+        f.assign(acc, 0.0)
+        with f.loop(4, name="m") as m:
+            with f.for_range(0, 4, name="n") as n:
+                f.assign(acc, acc + sig[n] * sig[n + m])
+        f.assign(out[0], acc)
+    compiled = compile_module(pb.build(), strategy=Strategy.CB_DUP)
+    text = format_asm(compiled.program)
+    assert "[l]" in text  # store-lock/unlock pair flagged
+
+
+def test_data_directives_list_banks_and_duplicates():
+    from repro.machine.asm import format_data_directives
+    from repro.frontend import ProgramBuilder
+    from repro.partition.strategies import Strategy
+
+    pb = ProgramBuilder("t")
+    sig = pb.global_array("sig", 8, float, init=[0.0] * 8)
+    out = pb.global_scalar("out", float)
+    with pb.function("main") as f:
+        with f.loop(8) as i:
+            f.assign(sig[i], 1.0)
+        acc = f.float_var("acc")
+        f.assign(acc, 0.0)
+        with f.loop(4, name="m") as m:
+            with f.for_range(0, 4, name="n") as n:
+                f.assign(acc, acc + sig[n] * sig[n + m])
+        f.assign(out[0], acc)
+    compiled = compile_module(pb.build(), strategy=Strategy.CB_DUP)
+    text = format_data_directives(compiled.program)
+    assert "org     x:0" in text and "org     y:0" in text
+    # duplicated symbol appears in both sections
+    assert text.count("sig ") == 2 or text.count("sig\t") + text.count("sig ") >= 2

@@ -1,0 +1,166 @@
+"""Tests for the operation-compaction (VLIW scheduling) pass."""
+
+from repro.compiler.compaction import compact_block
+from repro.compiler.pipeline import compile_module
+from repro.frontend import ProgramBuilder
+from repro.ir.block import BasicBlock
+from repro.ir.operations import OpCode, Operation
+from repro.ir.symbols import MemoryBank, Symbol
+from repro.ir.types import RegClass
+from repro.ir.values import Immediate, Label, VirtualRegister
+from repro.machine.resources import FunctionalUnit
+from repro.partition.strategies import Strategy
+
+
+def _reg(rclass=RegClass.FLOAT, index=0):
+    return VirtualRegister(index, rclass)
+
+
+def _block(ops, label="b"):
+    block = BasicBlock(label)
+    for op in ops:
+        block.append(op)
+    return block
+
+
+def _load(sym, bank, dest):
+    return Operation(
+        OpCode.LOAD, dest=dest, sources=(Immediate(0),), symbol=sym, bank=bank
+    )
+
+
+def test_memory_ops_route_by_bank():
+    sx = Symbol("x", size=4)
+    sy = Symbol("y", size=4)
+    ops = [
+        _load(sx, MemoryBank.X, _reg(index=1)),
+        _load(sy, MemoryBank.Y, _reg(index=2)),
+    ]
+    instructions = compact_block(_block(ops))
+    assert len(instructions) == 1
+    slots = instructions[0].slots
+    assert slots[FunctionalUnit.MU0].symbol is sx
+    assert slots[FunctionalUnit.MU1].symbol is sy
+
+
+def test_same_bank_ops_serialize():
+    sx = Symbol("x", size=4)
+    sx2 = Symbol("x2", size=4)
+    ops = [
+        _load(sx, MemoryBank.X, _reg(index=1)),
+        _load(sx2, MemoryBank.X, _reg(index=2)),
+    ]
+    instructions = compact_block(_block(ops))
+    assert len(instructions) == 2
+
+
+def test_dual_ported_ignores_banks():
+    sx = Symbol("x", size=4)
+    sx2 = Symbol("x2", size=4)
+    ops = [
+        _load(sx, MemoryBank.X, _reg(index=1)),
+        _load(sx2, MemoryBank.X, _reg(index=2)),
+    ]
+    instructions = compact_block(_block(ops), dual_ported=True)
+    assert len(instructions) == 1
+
+
+def test_duplicated_load_narrowed_to_free_unit():
+    dup = Symbol("d", size=4)
+    other = Symbol("x", size=4)
+    ops = [
+        _load(other, MemoryBank.X, _reg(index=1)),
+        _load(dup, MemoryBank.BOTH, _reg(index=2)),
+    ]
+    instructions = compact_block(_block(ops))
+    assert len(instructions) == 1
+    narrowed = instructions[0].slots[FunctionalUnit.MU1]
+    assert narrowed.symbol is dup
+    assert narrowed.bank is MemoryBank.Y
+
+
+def test_terminator_shares_final_instruction_when_free():
+    r1 = _reg(RegClass.INT, 1)
+    ops = [
+        Operation(OpCode.CONST, dest=r1, sources=(Immediate(1),)),
+        Operation(OpCode.BR, target=Label("elsewhere")),
+    ]
+    instructions = compact_block(_block(ops))
+    assert len(instructions) == 1
+    assert instructions[0].slots[FunctionalUnit.PCU].opcode is OpCode.BR
+
+
+def test_conditional_branch_waits_for_its_condition():
+    r1 = _reg(RegClass.INT, 1)
+    cond = _reg(RegClass.INT, 2)
+    ops = [
+        Operation(OpCode.CONST, dest=r1, sources=(Immediate(1),)),
+        Operation(OpCode.CMPLT, dest=cond, sources=(r1, r1)),
+        Operation(OpCode.BRT, sources=(cond,), target=Label("t")),
+    ]
+    instructions = compact_block(_block(ops))
+    # cmplt computes in the final value-producing instruction; the branch
+    # reads it, so it must occupy a later instruction.
+    assert instructions[-1].slots[FunctionalUnit.PCU].opcode is OpCode.BRT
+    assert len(instructions[-1].slots) == 1
+
+
+def test_loop_begin_lands_in_final_instruction():
+    counter = _reg(RegClass.ADDR, 1)
+    store_sym = Symbol("s", size=2)
+    ops = [
+        Operation(OpCode.ACONST, dest=counter, sources=(Immediate(4),)),
+        Operation(
+            OpCode.STORE,
+            sources=(_reg(RegClass.FLOAT, 2), Immediate(0)),
+            symbol=store_sym,
+            bank=MemoryBank.X,
+        ),
+        Operation(OpCode.LOOP_BEGIN, sources=(counter,), target=Label("L")),
+    ]
+    instructions = compact_block(_block(ops))
+    last = instructions[-1]
+    assert last.slots[FunctionalUnit.PCU].opcode is OpCode.LOOP_BEGIN
+    # Nothing may be scheduled after the LOOP_BEGIN instruction.
+    for instr in instructions[:-1]:
+        assert FunctionalUnit.PCU not in instr.slots
+
+
+def test_loop_end_marker_attaches_to_final_instruction():
+    r1 = _reg(RegClass.FLOAT, 1)
+    ops = [
+        Operation(OpCode.FADD, dest=r1, sources=(r1, r1)),
+        Operation(OpCode.LOOP_END, target=Label("L9")),
+    ]
+    instructions = compact_block(_block(ops))
+    assert instructions[-1].loop_ends == ["L9"]
+
+
+def test_marker_only_block_gets_one_instruction():
+    ops = [Operation(OpCode.LOOP_END, target=Label("L1"))]
+    instructions = compact_block(_block(ops))
+    assert len(instructions) == 1
+    assert instructions[0].loop_ends == ["L1"]
+    assert len(instructions[0].slots) == 0
+
+
+def test_empty_block_produces_no_instructions():
+    assert compact_block(_block([])) == []
+
+
+def test_no_unit_holds_two_ops(dot_product_module):
+    compiled = compile_module(dot_product_module(), strategy=Strategy.CB)
+    for instruction in compiled.program.instructions:
+        units = list(instruction.slots)
+        assert len(units) == len(set(units))
+
+
+def test_units_match_their_op_classes(dot_product_module):
+    from repro.machine.resources import bank_for_unit, units_for_class
+
+    compiled = compile_module(dot_product_module(), strategy=Strategy.CB)
+    for instruction in compiled.program.instructions:
+        for unit, op in instruction.slots.items():
+            assert unit in units_for_class(op.unit)
+            if op.is_memory:
+                assert op.bank is bank_for_unit(unit)

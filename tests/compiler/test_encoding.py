@@ -1,0 +1,99 @@
+"""Tests for bit-level instruction encoding (round-trip + size accounting)."""
+
+import pytest
+
+from repro.compiler import CompileOptions, compile_module
+from repro.machine.encoding import Decoder, encode_program, packed_size_words
+from repro.partition.strategies import Strategy
+from repro.workloads.registry import APPLICATIONS, KERNELS
+
+
+def _compiled(name="fir_32_1", strategy=Strategy.CB, **opts):
+    table = {**KERNELS, **APPLICATIONS} if False else None
+    workload = (KERNELS if name in KERNELS else APPLICATIONS)[name]
+    return compile_module(
+        workload.build(), CompileOptions(strategy=strategy, **opts)
+    )
+
+
+def _ops_equal(a, b):
+    if a.opcode is not b.opcode:
+        return False
+    if (a.dest is None) != (b.dest is None):
+        return False
+    if a.dest is not None and a.dest is not b.dest:
+        return False
+    if len(a.sources) != len(b.sources):
+        return False
+    for sa, sb in zip(a.sources, b.sources):
+        if sa is not sb and sa != sb:
+            return False
+    if a.symbol is not b.symbol or a.bank is not b.bank:
+        return False
+    if a.locked != b.locked or a.shadow != b.shadow:
+        return False
+    if (a.target is None) != (b.target is None):
+        return False
+    if a.target is not None and a.target.name != b.target.name:
+        return False
+    return a.callee == b.callee
+
+
+@pytest.mark.parametrize(
+    ("name", "strategy"),
+    [
+        ("fir_32_1", Strategy.CB),
+        ("mult_4_4", Strategy.SINGLE_BANK),
+        ("latnrm_8_1", Strategy.CB_DUP),
+        ("adpcm", Strategy.CB),
+        ("trellis", Strategy.CB),
+    ],
+    ids=lambda v: getattr(v, "name", v),
+)
+def test_round_trip(name, strategy):
+    program = _compiled(name, strategy).program
+    encoded = encode_program(program)
+    decoder = Decoder(encoded)
+    assert len(encoded.instruction_bits) == len(program.instructions)
+    for bits, original in zip(encoded.instruction_bits, program.instructions):
+        decoded = decoder.decode_instruction(bits)
+        assert set(decoded.slots) == set(original.slots)
+        assert decoded.loop_ends == original.loop_ends
+        for unit, op in original:
+            assert _ops_equal(op, decoded.slots[unit]), (unit, op)
+
+
+def test_round_trip_with_pipelining_and_duplication():
+    program = _compiled(
+        "lpc", Strategy.CB_DUP, software_pipelining=True
+    ).program
+    encoded = encode_program(program)
+    decoder = Decoder(encoded)
+    for bits, original in zip(encoded.instruction_bits, program.instructions):
+        decoded = decoder.decode_instruction(bits)
+        for unit, op in original:
+            assert _ops_equal(op, decoded.slots[unit])
+
+
+def test_tight_encoding_beats_fixed_width():
+    """The presence-mask format must be far smaller than a naive
+    fixed-width 9-slot word (the paper's 'tightly-encoded' point)."""
+    program = _compiled("fir_256_64").program
+    encoded = encode_program(program)
+    naive_bits = len(program.instructions) * 9 * 48
+    assert encoded.code_bits < naive_bits / 3
+
+
+def test_float_constants_go_to_pool():
+    program = _compiled("fir_32_1").program
+    encoded = encode_program(program)
+    assert any(isinstance(v, float) for v in encoded.pool)
+
+
+def test_packed_size_words_positive_and_reasonable():
+    program = _compiled("mult_4_4").program
+    packed = packed_size_words(program)
+    assert 0 < packed
+    # With 32-bit words, packing can exceed one word per instruction for
+    # operand-heavy code but must stay within a small constant factor.
+    assert packed < 4 * len(program.instructions) + 16

@@ -1,0 +1,113 @@
+"""Tests for dual-stack frame layout and callee save/restore."""
+
+from repro.compiler import compile_module
+from repro.compiler.frames import layout_frame
+from repro.frontend import ProgramBuilder
+from repro.ir.operations import OpCode
+from repro.ir.symbols import MemoryBank, Storage, Symbol
+from repro.partition.strategies import Strategy
+from tests.conftest import compile_and_run
+
+
+def _function_with_locals(banks):
+    from repro.ir.function import Function
+
+    func = Function("f")
+    for i, bank in enumerate(banks):
+        sym = Symbol("l%d" % i, size=2 + i, storage=Storage.LOCAL)
+        sym.bank = bank
+        func.add_symbol(sym)
+    return func
+
+
+def test_frame_offsets_disjoint_per_bank():
+    func = _function_with_locals(
+        [MemoryBank.X, MemoryBank.X, MemoryBank.Y, MemoryBank.Y]
+    )
+    layout = layout_frame(func)
+    assert layout.size_x == 2 + 3
+    assert layout.size_y == 4 + 5
+    bank_x = [
+        (off, off + func.symbols.get(name).size)
+        for name, (bank, off) in layout.offsets.items()
+        if bank is MemoryBank.X
+    ]
+    bank_x.sort()
+    for (s1, e1), (s2, e2) in zip(bank_x, bank_x[1:]):
+        assert e1 <= s2
+
+
+def test_duplicated_locals_first_at_common_offsets():
+    func = _function_with_locals([MemoryBank.X, MemoryBank.BOTH])
+    layout = layout_frame(func)
+    bank, offset = layout.offset_of("l1")
+    assert bank is MemoryBank.BOTH
+    assert offset == 0  # duplicated locals are allocated first
+    bank_x, offset_x = layout.offset_of("l0")
+    assert offset_x >= func.symbols.get("l1").size
+
+
+def _call_heavy_module():
+    pb = ProgramBuilder("t")
+    out = pb.global_scalar("out", float)
+    with pb.function("work", params=[("x", float)], returns=float) as f:
+        a = f.float_var("a")
+        b = f.float_var("b")
+        c = f.float_var("c")
+        f.assign(a, f.param("x") * 2.0)
+        f.assign(b, a + 1.0)
+        f.assign(c, b * b)
+        f.ret(c - a)
+    with pb.function("main") as f:
+        total = f.float_var("total")
+        f.assign(total, 0.0)
+        with f.loop(3):
+            f.assign(total, total + pb.get("work")(2.0))
+        f.assign(out[0], total)
+    return pb.build()
+
+
+def test_callee_saves_present_and_alternating():
+    compiled = compile_module(_call_heavy_module(), strategy=Strategy.CB)
+    work = compiled.program.module.function("work")
+    save_syms = [s for s in work.local_symbols() if s.name.startswith("__save")]
+    assert save_syms, "expected callee-save slots"
+    if len(save_syms) >= 2:
+        assert {s.bank for s in save_syms[:2]} == {MemoryBank.X, MemoryBank.Y}
+
+
+def test_single_bank_saves_all_on_x():
+    compiled = compile_module(_call_heavy_module(), strategy=Strategy.SINGLE_BANK)
+    work = compiled.program.module.function("work")
+    save_syms = [s for s in work.local_symbols() if s.name.startswith("__save")]
+    assert save_syms
+    assert all(s.bank is MemoryBank.X for s in save_syms)
+
+
+def test_main_saves_nothing():
+    compiled = compile_module(_call_heavy_module(), strategy=Strategy.CB)
+    main = compiled.program.module.function("main")
+    assert not [s for s in main.local_symbols() if s.name.startswith("__save")]
+
+
+def test_call_heavy_program_correct():
+    sim, _ = compile_and_run(_call_heavy_module(), strategy=Strategy.CB)
+    # work(2) = (2*2+1)^2 - 4 = 21; three calls.
+    assert sim.read_global("out") == 63.0
+
+
+def test_save_restore_pairs_match():
+    compiled = compile_module(_call_heavy_module(), strategy=Strategy.CB)
+    work = compiled.program.module.function("work")
+    saves = [
+        op
+        for op in work.operations()
+        if op.is_store and op.symbol.name.startswith("__save")
+    ]
+    restores = [
+        op
+        for op in work.operations()
+        if op.is_load and op.symbol.name.startswith("__save")
+    ]
+    assert len(saves) == len(restores)
+    assert {op.symbol.name for op in saves} == {op.symbol.name for op in restores}

@@ -1,0 +1,93 @@
+"""Tests for global data layout and the compile driver."""
+
+import pytest
+
+from repro.compiler import CompileOptions, compile_module
+from repro.compiler.layout import layout_globals
+from repro.frontend import ProgramBuilder
+from repro.ir.module import Module
+from repro.ir.symbols import MemoryBank, Symbol
+from repro.partition.strategies import Strategy
+
+
+def _module_with_banks():
+    module = Module("m")
+    for name, size, bank in (
+        ("dup", 4, MemoryBank.BOTH),
+        ("x1", 8, MemoryBank.X),
+        ("x2", 2, MemoryBank.X),
+        ("y1", 6, MemoryBank.Y),
+    ):
+        sym = Symbol(name, size=size)
+        sym.bank = bank
+        module.add_global(sym)
+    return module
+
+
+def test_duplicated_globals_first_at_same_address():
+    layout = layout_globals(_module_with_banks())
+    bank, address = layout.address_of("dup")
+    assert bank is MemoryBank.BOTH
+    assert address == 0
+
+
+def test_layout_is_disjoint_and_sized():
+    layout = layout_globals(_module_with_banks())
+    assert layout.data_size_x == 4 + 8 + 2
+    assert layout.data_size_y == 4 + 6
+    _b, x1 = layout.address_of("x1")
+    _b, x2 = layout.address_of("x2")
+    assert {x1, x2} & {0, 1, 2, 3} == set()  # after the duplicate
+    assert x1 != x2
+
+
+def _trivial_module():
+    pb = ProgramBuilder("t")
+    out = pb.global_scalar("out", int)
+    with pb.function("main") as f:
+        f.assign(out[0], 7)
+    return pb.build()
+
+
+def test_compile_options_object():
+    options = CompileOptions(strategy=Strategy.SINGLE_BANK)
+    result = compile_module(_trivial_module(), options)
+    assert result.code_size > 0
+
+
+def test_options_and_kwargs_are_exclusive():
+    with pytest.raises(TypeError):
+        compile_module(
+            _trivial_module(),
+            CompileOptions(),
+            strategy=Strategy.CB,
+        )
+
+
+def test_program_metadata_complete(dot_product_module):
+    compiled = compile_module(dot_product_module(), strategy=Strategy.CB)
+    program = compiled.program
+    assert "main" in program.function_entries
+    assert program.function_entries["main"] == 0
+    assert program.layout is not None
+    assert program.frames["main"] is not None
+    # Every hardware loop has a coherent (start, end) span.
+    for loop_id, (start, end) in program.loops.items():
+        assert 0 <= start <= end < len(program.instructions)
+        assert loop_id in [
+            lid for instr in program.instructions for lid in instr.loop_ends
+        ]
+
+
+def test_labels_point_into_program(dot_product_module):
+    compiled = compile_module(dot_product_module(), strategy=Strategy.CB)
+    program = compiled.program
+    for label, index in program.labels.items():
+        assert 0 <= index <= len(program.instructions)
+
+
+def test_dump_is_renderable(dot_product_module):
+    compiled = compile_module(dot_product_module(), strategy=Strategy.CB)
+    text = compiled.program.dump()
+    assert "MU0" in text or "MU1" in text
+    assert "loop_begin" in text

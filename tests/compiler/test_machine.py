@@ -1,0 +1,78 @@
+"""Tests for the machine model: units, long instructions, programs."""
+
+import pytest
+
+from repro.ir.operations import OpCode, Operation, UnitClass
+from repro.ir.symbols import MemoryBank
+from repro.ir.types import RegClass
+from repro.ir.values import Immediate, VirtualRegister
+from repro.machine.instruction import LongInstruction, MachineProgram
+from repro.machine.resources import (
+    ALL_UNITS,
+    MEMORY_UNITS,
+    FunctionalUnit,
+    bank_for_unit,
+    unit_for_bank,
+    units_for_class,
+)
+
+
+def test_nine_units_match_paper_figure2():
+    assert len(ALL_UNITS) == 9
+    names = {u.name for u in ALL_UNITS}
+    assert names == {
+        "PCU", "MU0", "MU1", "AU0", "AU1", "DU0", "DU1", "FPU0", "FPU1"
+    }
+
+
+def test_unit_class_instances():
+    assert units_for_class(UnitClass.PCU) == (FunctionalUnit.PCU,)
+    assert len(units_for_class(UnitClass.MU)) == 2
+    assert len(units_for_class(UnitClass.AU)) == 2
+    assert len(units_for_class(UnitClass.DU)) == 2
+    assert len(units_for_class(UnitClass.FPU)) == 2
+
+
+def test_bank_wiring():
+    assert bank_for_unit(FunctionalUnit.MU0) is MemoryBank.X
+    assert bank_for_unit(FunctionalUnit.MU1) is MemoryBank.Y
+    assert unit_for_bank(MemoryBank.X) is FunctionalUnit.MU0
+    assert unit_for_bank(MemoryBank.Y) is FunctionalUnit.MU1
+    assert MEMORY_UNITS == (FunctionalUnit.MU0, FunctionalUnit.MU1)
+
+
+def _op():
+    reg = VirtualRegister(0, RegClass.INT)
+    return Operation(OpCode.CONST, dest=reg, sources=(Immediate(1),))
+
+
+def test_long_instruction_one_op_per_unit():
+    instr = LongInstruction("blk")
+    instr.add(FunctionalUnit.DU0, _op())
+    assert not instr.unit_free(FunctionalUnit.DU0)
+    assert instr.unit_free(FunctionalUnit.DU1)
+    with pytest.raises(ValueError):
+        instr.add(FunctionalUnit.DU0, _op())
+    assert len(instr) == 1
+    assert instr.ops
+
+
+def test_long_instruction_repr_lists_slots():
+    instr = LongInstruction("blk")
+    instr.add(FunctionalUnit.DU0, _op())
+    instr.loop_ends.append("L1")
+    text = repr(instr)
+    assert "DU0" in text and "loop_end(L1)" in text
+
+
+def test_machine_program_size_and_dump():
+    program = MachineProgram()
+    instr = LongInstruction("blk")
+    instr.add(FunctionalUnit.DU0, _op())
+    program.instructions.append(instr)
+    program.labels["blk"] = 0
+    assert program.size == 1
+    assert len(program) == 1
+    dump = program.dump()
+    assert "blk:" in dump
+    assert "const" in dump

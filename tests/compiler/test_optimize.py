@@ -1,0 +1,119 @@
+"""Tests for the dead-code elimination pass."""
+
+import pytest
+
+from repro.compiler import CompileOptions, compile_module
+from repro.compiler.optimize import eliminate_dead_code
+from repro.frontend import ProgramBuilder
+from repro.ir.operations import OpCode
+from repro.partition.strategies import Strategy
+from repro.sim.simulator import Simulator
+from repro.workloads.registry import KERNELS
+
+
+def test_dead_constant_removed():
+    pb = ProgramBuilder("t")
+    out = pb.global_scalar("out", int)
+    with pb.function("main") as f:
+        dead = f.int_var("dead")
+        f.assign(dead, 123)
+        f.assign(out[0], 7)
+    module = pb.build()
+    removed = eliminate_dead_code(module)
+    assert removed >= 1
+    opcodes = [op.opcode for op in module.main.operations()]
+    # The dead CONST is gone; the live store machinery remains.
+    assert opcodes.count(OpCode.CONST) == 1  # the value 7
+
+
+def test_dead_chain_removed_transitively():
+    pb = ProgramBuilder("t")
+    out = pb.global_scalar("out", float)
+    with pb.function("main") as f:
+        a = f.float_var("a")
+        b = f.float_var("b")
+        c = f.float_var("c")
+        f.assign(a, 1.0)
+        f.assign(b, a * 2.0)
+        f.assign(c, b + a)  # c never used
+        f.assign(out[0], 5.0)
+    module = pb.build()
+    removed = eliminate_dead_code(module)
+    assert removed >= 3  # the whole chain
+
+
+def test_dead_fmac_removed():
+    pb = ProgramBuilder("t")
+    out = pb.global_scalar("out", float)
+    with pb.function("main") as f:
+        acc = f.float_var("acc")
+        x = f.float_var("x")
+        f.assign(x, 2.0)
+        f.assign(acc, 0.0)
+        f.assign(acc, acc + x * x)  # FMAC, but acc never read afterwards
+        f.assign(out[0], 9.0)
+    module = pb.build()
+    opcodes_before = [op.opcode for op in module.main.operations()]
+    assert OpCode.FMAC in opcodes_before
+    eliminate_dead_code(module)
+    opcodes_after = [op.opcode for op in module.main.operations()]
+    assert OpCode.FMAC not in opcodes_after
+
+
+def test_stores_and_loads_never_removed():
+    pb = ProgramBuilder("t")
+    sink = pb.global_scalar("sink", float)
+    src = pb.global_scalar("src", float, init=2.0)
+    out = pb.global_scalar("out", float)
+    with pb.function("main") as f:
+        v = f.float_var("v")
+        f.assign(v, src[0])    # load feeding only a store
+        f.assign(sink[0], v)
+        f.assign(out[0], 1.0)
+    module = pb.build()
+    eliminate_dead_code(module)
+    memory_ops = [op for op in module.main.operations() if op.is_memory]
+    assert len(memory_ops) == 3
+
+
+def test_live_code_untouched(dot_product_module):
+    module = dot_product_module()
+    before = sum(1 for _ in module.operations())
+    removed = eliminate_dead_code(module)
+    assert removed == 0
+    assert sum(1 for _ in module.operations()) == before
+
+
+def test_optimize_option_preserves_semantics():
+    for name in ("fir_32_1", "latnrm_8_1"):
+        workload = KERNELS[name]
+        compiled = compile_module(
+            workload.build(),
+            CompileOptions(strategy=Strategy.CB, optimize=True),
+        )
+        simulator = Simulator(compiled.program)
+        simulator.run()
+        workload.verify(simulator)
+
+
+def test_optimize_shrinks_padded_program():
+    def build(with_padding):
+        pb = ProgramBuilder("t")
+        out = pb.global_scalar("out", float)
+        with pb.function("main") as f:
+            acc = f.float_var("acc")
+            f.assign(acc, 1.5)
+            if with_padding:
+                for i in range(6):
+                    junk = f.float_var()
+                    f.assign(junk, acc * float(i))
+            f.assign(out[0], acc)
+        return pb.build()
+
+    clean = compile_module(
+        build(False), CompileOptions(strategy=Strategy.CB, optimize=True)
+    )
+    padded = compile_module(
+        build(True), CompileOptions(strategy=Strategy.CB, optimize=True)
+    )
+    assert padded.code_size == clean.code_size

@@ -1,0 +1,174 @@
+"""Tests for linear-scan register allocation and the calling convention."""
+
+from repro.compiler import compile_module
+from repro.compiler.regalloc import (
+    ALLOCATABLE,
+    ARG_REGS,
+    RETURN_REG,
+    SCRATCH_REGS,
+    phys,
+)
+from repro.frontend import ProgramBuilder
+from repro.ir.types import RegClass
+from repro.partition.strategies import Strategy
+from tests.conftest import compile_and_run
+
+
+def test_register_convention_is_consistent():
+    all_regs = set(ALLOCATABLE) | set(SCRATCH_REGS) | set(ARG_REGS) | {RETURN_REG}
+    assert all_regs == set(range(32))
+    assert not set(ALLOCATABLE) & set(SCRATCH_REGS)
+    assert not set(ALLOCATABLE) & set(ARG_REGS)
+
+
+def test_phys_registers_are_interned():
+    assert phys(RegClass.INT, 5) is phys(RegClass.INT, 5)
+    assert phys(RegClass.INT, 5) is not phys(RegClass.FLOAT, 5)
+    assert phys(RegClass.INT, 5).physical == 5
+
+
+def test_all_operands_physical_after_allocation(dot_product_module):
+    compiled = compile_module(dot_product_module(), strategy=Strategy.CB)
+    from repro.ir.values import is_register
+
+    for instruction in compiled.program.instructions:
+        for _unit, op in instruction:
+            for source in op.sources:
+                if is_register(source):
+                    assert source.physical is not None
+            if op.dest is not None:
+                assert op.dest.physical is not None
+
+
+def _spill_module(live_values):
+    """A program keeping `live_values` float registers live at once."""
+    pb = ProgramBuilder("spill")
+    out = pb.global_scalar("out", float)
+    with pb.function("main") as f:
+        values = []
+        for i in range(live_values):
+            v = f.float_var("v%d" % i)
+            f.assign(v, float(i))
+            values.append(v)
+        total = f.float_var("total")
+        f.assign(total, 0.0)
+        for v in values:
+            f.assign(total, total + v)
+        f.assign(out[0], total)
+    return pb.build()
+
+
+def test_no_spills_under_pressure_limit():
+    compiled = compile_module(_spill_module(10), strategy=Strategy.CB)
+    assert compiled.register_records["main"].spill_count == 0
+
+
+def test_spills_under_high_pressure_stay_correct():
+    n = 40  # more simultaneously-live floats than allocatable registers
+    module = _spill_module(n)
+    sim, _ = compile_and_run(module, strategy=Strategy.CB)
+    assert sim.read_global("out") == float(sum(range(n)))
+
+
+def test_spill_slots_created_under_pressure():
+    compiled = compile_module(_spill_module(40), strategy=Strategy.CB)
+    record = compiled.register_records["main"]
+    assert record.spill_count > 0
+    assert len(record.spill_slots) == record.spill_count
+
+
+def test_spill_slots_alternate_banks_with_dual_stacks():
+    compiled = compile_module(_spill_module(40), strategy=Strategy.CB)
+    slots = compiled.register_records["main"].spill_slots
+    banks = {slot.bank for slot in slots}
+    if len(slots) >= 2:
+        assert len(banks) == 2
+
+
+def test_spill_slots_single_bank_without_partitioning():
+    compiled = compile_module(_spill_module(40), strategy=Strategy.SINGLE_BANK)
+    slots = compiled.register_records["main"].spill_slots
+    from repro.ir.symbols import MemoryBank
+
+    assert all(slot.bank is MemoryBank.X for slot in slots)
+
+
+def test_spilled_accumulator_fmac_reloads():
+    """FMAC reads its destination; a spilled accumulator must round-trip."""
+    n = 30
+    pb = ProgramBuilder("t")
+    a = pb.global_array("a", 8, float, init=[1.0] * 8)
+    b = pb.global_array("b", 8, float, init=[2.0] * 8)
+    out = pb.global_scalar("out", float)
+    with pb.function("main") as f:
+        # Lots of long-lived registers to force spilling...
+        keep = []
+        for i in range(n):
+            v = f.float_var()
+            f.assign(v, float(i))
+            keep.append(v)
+        acc = f.float_var("acc")
+        f.assign(acc, 0.0)
+        with f.loop(8) as i:
+            f.assign(acc, acc + a[i] * b[i])
+        total = f.float_var("total")
+        f.assign(total, acc)
+        for v in keep:
+            f.assign(total, total + v)
+        f.assign(out[0], total)
+    sim, _ = compile_and_run(pb.build())
+    assert sim.read_global("out") == 16.0 + sum(range(n))
+
+
+def test_deep_call_chain_preserves_caller_state():
+    pb = ProgramBuilder("t")
+    out = pb.global_scalar("out", float)
+    with pb.function("leaf", params=[("x", float)], returns=float) as f:
+        f.ret(f.param("x") + 1.0)
+    leaf = pb.get("leaf")
+    with pb.function("mid", params=[("x", float)], returns=float) as f:
+        a = f.float_var("a")
+        f.assign(a, f.param("x") * 2.0)
+        b = f.float_var("b")
+        f.assign(b, leaf(a))
+        # `a` must survive the call (callee-save discipline).
+        f.ret(a + b)
+    mid = pb.get("mid")
+    with pb.function("main") as f:
+        keep = f.float_var("keep")
+        f.assign(keep, 100.0)
+        r = f.float_var("r")
+        f.assign(r, mid(3.0))
+        f.assign(out[0], r + keep)
+    sim, _ = compile_and_run(pb.build())
+    # mid(3) = 6 + leaf(6) = 6 + 7 = 13; + 100
+    assert sim.read_global("out") == 113.0
+
+
+def test_int_and_float_returns():
+    pb = ProgramBuilder("t")
+    out_i = pb.global_scalar("out_i", int)
+    out_f = pb.global_scalar("out_f", float)
+    with pb.function("geti", returns=int) as f:
+        f.ret(41 + 1)
+    with pb.function("getf", returns=float) as f:
+        f.ret(2.5 * 2.0)
+    with pb.function("main") as f:
+        f.assign(out_i[0], pb.get("geti")())
+        f.assign(out_f[0], pb.get("getf")())
+    sim, _ = compile_and_run(pb.build())
+    assert sim.read_global("out_i") == 42
+    assert sim.read_global("out_f") == 5.0
+
+
+def test_arguments_passed_by_position_and_class():
+    pb = ProgramBuilder("t")
+    out = pb.global_scalar("out", float)
+    with pb.function(
+        "mix", params=[("i", int), ("x", float), ("j", int)], returns=float
+    ) as f:
+        f.ret(f.param("x") + (f.param("i") - f.param("j")) * 1.0)
+    with pb.function("main") as f:
+        f.assign(out[0], pb.get("mix")(10, 0.5, 3))
+    sim, _ = compile_and_run(pb.build())
+    assert sim.read_global("out") == 7.5

@@ -1,0 +1,54 @@
+"""Shared test helpers: build, compile, and run small programs."""
+
+import pytest
+
+from repro.compiler import compile_module
+from repro.frontend import ProgramBuilder
+from repro.partition.strategies import Strategy
+from repro.sim.simulator import Simulator
+
+
+def compile_and_run(module, strategy=Strategy.CB, profile_counts=None, **sim_kwargs):
+    """Compile *module*, simulate it, and return (simulator, result)."""
+    compiled = compile_module(
+        module, strategy=strategy, profile_counts=profile_counts
+    )
+    simulator = Simulator(compiled.program, **sim_kwargs)
+    result = simulator.run()
+    return simulator, result
+
+
+def run_all_strategies(build, check, profile_counts=None):
+    """Run *build()* under every strategy, calling ``check(sim, strategy)``.
+
+    ``build`` must return a fresh module per call (compilation consumes
+    modules).  CB_PROFILE uses empty profile counts unless provided.
+    """
+    for strategy in Strategy:
+        counts = profile_counts
+        if strategy is Strategy.CB_PROFILE and counts is None:
+            counts = {}
+        simulator, _result = compile_and_run(
+            build(), strategy=strategy, profile_counts=counts
+        )
+        check(simulator, strategy)
+
+
+@pytest.fixture
+def dot_product_module():
+    """A canonical two-array kernel: 16-element dot product."""
+
+    def build():
+        pb = ProgramBuilder("dot")
+        a = pb.global_array("A", 16, float, init=[float(i) for i in range(16)])
+        b = pb.global_array("B", 16, float, init=[0.5] * 16)
+        out = pb.global_scalar("out", float)
+        with pb.function("main") as f:
+            acc = f.float_var("acc")
+            f.assign(acc, 0.0)
+            with f.loop(16) as i:
+                f.assign(acc, acc + a[i] * b[i])
+            f.assign(out[0], acc)
+        return pb.build()
+
+    return build

@@ -1,0 +1,84 @@
+"""Golden cycle counts: a regression net over the whole reproduction.
+
+The compiler and simulator are fully deterministic, so every benchmark's
+cycle count under each configuration is an exact constant.  These tests
+pin those constants: any change to the scheduler, allocator, lowering,
+or workloads that shifts a number — intentionally or not — shows up here
+immediately.  When a change is intentional, re-record with the snippet
+in this file's docstring footer and re-check EXPERIMENTS.md.
+
+Regenerate with:
+
+    python - <<'PY'
+    from repro.evaluation.runner import evaluate_workload
+    from repro.partition.strategies import Strategy
+    from repro.workloads.registry import all_workloads
+    for name, w in all_workloads().items():
+        e = evaluate_workload(w, [Strategy.CB, Strategy.IDEAL])
+        print('    "%s": %r,' % (
+            name,
+            (e.baseline.cycles, e.cycles(Strategy.CB), e.cycles(Strategy.IDEAL)),
+        ))
+    PY
+"""
+
+import pytest
+
+from repro.partition.strategies import Strategy
+from repro.workloads.registry import all_workloads
+from tests.conftest import compile_and_run
+
+#: benchmark -> (baseline, CB, Ideal) cycles
+GOLDEN = {
+    "fft_1024": (67528, 55304, 55304),
+    "fft_256": (14074, 11546, 11546),
+    "fir_256_64": (49346, 32962, 32962),
+    "fir_32_1": (101, 69, 69),
+    "iir_4_64": (2434, 1922, 1922),
+    "iir_1_1": (13, 11, 11),
+    "latnrm_32_64": (24835, 20675, 20675),
+    "latnrm_8_1": (103, 86, 86),
+    "lmsfir_32_64": (14786, 12674, 12674),
+    "lmsfir_8_1": (65, 56, 56),
+    "mult_10_10": (3332, 2332, 2332),
+    "mult_4_4": (254, 190, 190),
+    "adpcm": (5634, 5634, 5634),
+    "lpc": (6344, 6129, 4424),
+    "spectral": (20316, 16890, 16506),
+    "edge_detect": (45992, 37892, 37892),
+    "compress": (70104, 52376, 52376),
+    "histogram": (29956, 29956, 29956),
+    "V32encode": (4227, 4035, 3843),
+    "G721MLencode": (32430, 32430, 31982),
+    "G721MLdecode": (21763, 21763, 21315),
+    "G721WFencode": (45393, 44945, 44049),
+    "trellis": (9677, 8713, 8711),
+}
+
+FAST = [name for name in GOLDEN if GOLDEN[name][0] < 25000]
+
+
+def test_golden_covers_whole_suite():
+    assert set(GOLDEN) == set(all_workloads())
+
+
+@pytest.mark.parametrize("name", FAST)
+def test_golden_cycles(name):
+    workload = all_workloads()[name]
+    base_expected, cb_expected, ideal_expected = GOLDEN[name]
+    _sim, base = compile_and_run(workload.build(), strategy=Strategy.SINGLE_BANK)
+    _sim, cb = compile_and_run(workload.build(), strategy=Strategy.CB)
+    _sim, ideal = compile_and_run(workload.build(), strategy=Strategy.IDEAL)
+    assert (base.cycles, cb.cycles, ideal.cycles) == (
+        base_expected,
+        cb_expected,
+        ideal_expected,
+    )
+
+
+def test_golden_shape_invariants():
+    """Even without re-running, the recorded constants must respect the
+    paper's orderings."""
+    for name, (base, cb, ideal) in GOLDEN.items():
+        assert cb <= base, name
+        assert ideal <= cb, name

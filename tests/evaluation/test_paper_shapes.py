@@ -1,0 +1,125 @@
+"""The reproduction's headline assertions: the paper's result *shapes*.
+
+These tests assert the qualitative findings of the paper's Section 4 on
+the reproduced system — who wins, where duplication helps and where it
+hurts, and which programs cannot be helped at all.  They use a fast
+subset of the full figure/table runs (the benchmarks regenerate the
+complete data).
+"""
+
+import pytest
+
+from repro.evaluation.figures import figure7, figure8
+from repro.evaluation.tables import table3
+from repro.partition.strategies import Strategy
+
+
+@pytest.fixture(scope="module")
+def fig7_small():
+    return figure7(subset=["fir_32_1", "iir_1_1", "latnrm_8_1", "lmsfir_8_1", "mult_4_4"])
+
+
+@pytest.fixture(scope="module")
+def fig8_small():
+    return figure8(subset=["lpc", "histogram", "V32encode", "G721MLencode", "trellis"])
+
+
+@pytest.fixture(scope="module")
+def table3_small():
+    return table3(subset=["lpc", "spectral", "histogram", "V32encode"])
+
+
+def test_kernels_gain_in_paper_band(fig7_small):
+    """Paper: CB partitioning improves every kernel, by 13%-49%."""
+    for name in fig7_small.order:
+        gain = fig7_small.gains["CB"][name]
+        assert 10.0 <= gain <= 55.0, (name, gain)
+
+
+def test_kernels_cb_matches_ideal(fig7_small):
+    """Paper: CB achieves Ideal performance for (nearly) all kernels."""
+    for name in fig7_small.order:
+        cb = fig7_small.gains["CB"][name]
+        ideal = fig7_small.gains["Ideal"][name]
+        assert cb >= ideal - 4.0, (name, cb, ideal)
+
+
+def test_profile_weights_comparable_to_static(fig8_small):
+    """Paper: profile-driven edge weights give performance comparable to
+    the loop-depth heuristic."""
+    for name in fig8_small.order:
+        cb = fig8_small.gains["CB"][name]
+        pr = fig8_small.gains["Pr"][name]
+        assert abs(cb - pr) <= 3.0, (name, cb, pr)
+
+
+def test_lpc_duplication_story(fig8_small):
+    """Paper: lpc gains only ~3% from CB but ~34% with duplication,
+    close to the ~36% ideal."""
+    cb = fig8_small.gains["CB"]["lpc"]
+    dup = fig8_small.gains["Dup"]["lpc"]
+    ideal = fig8_small.gains["Ideal"]["lpc"]
+    assert cb < 10.0
+    assert dup > cb + 15.0
+    assert dup >= ideal - 5.0
+
+
+def test_zero_parallelism_apps_gain_nothing(fig8_small):
+    """Paper: histogram and the G721 codecs do not benefit even from a
+    dual-ported memory."""
+    for name in ("histogram", "G721MLencode"):
+        assert fig8_small.gains["Ideal"][name] <= 3.0, name
+
+
+def test_ideal_upper_bounds_everything(fig8_small):
+    for name in fig8_small.order:
+        ideal = fig8_small.gains["Ideal"][name]
+        for label in ("CB", "Pr", "Dup"):
+            assert fig8_small.gains[label][name] <= ideal + 1.0, (name, label)
+
+
+def test_spectral_duplication_backfires(table3_small):
+    """Paper: spectral's integrity stores make Dup slower than plain CB
+    (PG 1.06 vs 1.09; PCR 1.01 vs 1.11)."""
+    rows = table3_small.rows["spectral"]
+    assert rows["Dup"].pg < rows["CB"].pg
+    assert rows["Dup"].pcr < rows["CB"].pcr
+
+
+def test_lpc_duplication_is_cost_effective(table3_small):
+    """Paper: lpc's PCR with duplication (1.20) beats CB alone (1.04)."""
+    rows = table3_small.rows["lpc"]
+    assert rows["Dup"].pcr > rows["CB"].pcr
+
+
+def test_full_duplication_never_cost_effective(table3_small):
+    """Paper: full duplication's PCR is below 1 for every application."""
+    for name in table3_small.order:
+        assert table3_small.rows[name]["FullDup"].pcr < 1.0, name
+
+
+def test_full_duplication_large_cost(table3_small):
+    """Paper: full duplication costs on average 62% more memory."""
+    for name in table3_small.order:
+        assert table3_small.rows[name]["FullDup"].ci > 1.3, name
+
+
+def test_partial_duplication_cost_is_modest(table3_small):
+    """Paper: partial duplication's average cost increase is ~1%."""
+    for name in table3_small.order:
+        assert table3_small.rows[name]["Dup"].ci < 1.35, name
+
+
+def test_pcr_above_one_for_non_fulldup(table3_small):
+    """Paper: PCR >= 1 for every technique except full duplication."""
+    for name in table3_small.order:
+        for label in ("Dup", "CB", "Ideal"):
+            assert table3_small.rows[name][label].pcr >= 0.99, (name, label)
+
+
+def test_mean_row_matches_cells(table3_small):
+    pg, ci, pcr = table3_small.mean("CB")
+    cells = [table3_small.rows[n]["CB"] for n in table3_small.order]
+    assert pg == pytest.approx(sum(c.pg for c in cells) / len(cells))
+    assert ci == pytest.approx(sum(c.ci for c in cells) / len(cells))
+    assert pcr == pytest.approx(sum(c.pcr for c in cells) / len(cells))

@@ -1,0 +1,69 @@
+"""Tests for ASCII report rendering and the stored paper data."""
+
+import pytest
+
+from repro.evaluation.paper_data import (
+    APPLICATION_ORDER,
+    KERNEL_ORDER,
+    PAPER_TABLE3,
+    PAPER_TABLE3_MEAN,
+)
+from repro.evaluation.figures import figure7, figure8
+from repro.evaluation.reporting import (
+    render_figure7,
+    render_figure8,
+    render_table3,
+)
+from repro.evaluation.tables import table3
+
+
+def test_paper_table3_is_complete():
+    assert set(PAPER_TABLE3) == set(APPLICATION_ORDER)
+    for rows in PAPER_TABLE3.values():
+        assert set(rows) == {"FullDup", "Dup", "CB", "Ideal"}
+        for pg, ci, pcr in rows.values():
+            # PCR column is consistent with PG/CI up to published rounding.
+            assert pcr == pytest.approx(pg / ci, abs=0.035)
+
+
+def test_paper_orders_cover_suites():
+    from repro.workloads.registry import APPLICATIONS, KERNELS
+
+    assert KERNEL_ORDER == list(KERNELS)
+    assert APPLICATION_ORDER == list(APPLICATIONS)
+
+
+def test_render_figure7_mentions_every_kernel():
+    series = figure7(subset=["fir_32_1", "mult_4_4"])
+    text = render_figure7(series)
+    assert "fir_32_1" in text and "mult_4_4" in text
+    assert "paper" in text
+
+
+def test_render_figure8_has_all_configs():
+    series = figure8(subset=["histogram"])
+    text = render_figure8(series)
+    for label in ("CB", "Pr", "Dup", "Ideal"):
+        assert label in text
+
+
+def test_render_table3_includes_paper_rows():
+    table = table3(subset=["histogram"])
+    text = render_table3(table)
+    assert "histogram" in text
+    assert "(paper)" in text
+    assert "Arithmetic Mean" in text
+
+
+def test_render_markdown_contains_all_sections():
+    from repro.evaluation.reporting import render_markdown
+
+    f7 = figure7(subset=["fir_32_1"])
+    f8 = figure8(subset=["histogram"])
+    t3 = table3(subset=["histogram"])
+    text = render_markdown(f7, f8, t3)
+    assert "## Figure 7" in text
+    assert "## Figure 8" in text
+    assert "## Table 3" in text
+    assert "fir_32_1" in text
+    assert "**mean**" in text

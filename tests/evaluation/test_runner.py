@@ -1,0 +1,56 @@
+"""Tests for the evaluation runner and derived metrics."""
+
+import pytest
+
+from repro.evaluation.runner import evaluate_workload
+from repro.partition.strategies import Strategy
+from repro.workloads.registry import APPLICATIONS, KERNELS
+
+
+@pytest.fixture(scope="module")
+def fir_eval():
+    return evaluate_workload(
+        KERNELS["fir_32_1"],
+        [Strategy.CB, Strategy.CB_PROFILE, Strategy.CB_DUP, Strategy.IDEAL],
+    )
+
+
+def test_baseline_always_measured(fir_eval):
+    assert Strategy.SINGLE_BANK in fir_eval.measurements
+    assert fir_eval.baseline.cycles > 0
+
+
+def test_gain_definitions_consistent(fir_eval):
+    for strategy in (Strategy.CB, Strategy.IDEAL):
+        pg = fir_eval.performance_gain(strategy)
+        percent = fir_eval.gain_percent(strategy)
+        assert percent == pytest.approx(100.0 * (pg - 1.0))
+
+
+def test_pcr_is_pg_over_ci(fir_eval):
+    pcr = fir_eval.pcr(Strategy.CB)
+    assert pcr == pytest.approx(
+        fir_eval.performance_gain(Strategy.CB)
+        / fir_eval.cost_increase(Strategy.CB)
+    )
+
+
+def test_profile_strategy_runs_through_runner(fir_eval):
+    assert fir_eval.cycles(Strategy.CB_PROFILE) > 0
+
+
+def test_duplicated_symbols_recorded():
+    evaluation = evaluate_workload(APPLICATIONS["lpc"], [Strategy.CB_DUP])
+    assert "ws" in evaluation.measurements[Strategy.CB_DUP].duplicated
+
+
+def test_verification_failure_propagates():
+    workload = KERNELS["fir_32_1"]
+
+    class Broken(type(workload)):
+        def expected(self):
+            return {"y": [123456.0]}
+
+    broken = Broken(32, 1)
+    with pytest.raises(AssertionError):
+        evaluate_workload(broken, [Strategy.CB])

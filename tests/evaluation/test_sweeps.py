@@ -1,0 +1,33 @@
+"""Tests for the parameter-sweep harness."""
+
+from repro.evaluation.sweeps import (
+    duplication_crossover,
+    kernel_size_sweep,
+    sweep,
+)
+from repro.partition.strategies import Strategy
+from repro.workloads.kernels.fir import Fir
+
+
+def test_generic_sweep_includes_baseline():
+    rows = sweep(lambda taps: Fir(taps, 2).build(), [4, 8], [Strategy.CB])
+    assert set(rows) == {4, 8}
+    for row in rows.values():
+        assert Strategy.SINGLE_BANK in row
+        assert Strategy.CB in row
+        assert row[Strategy.CB].cycles <= row[Strategy.SINGLE_BANK].cycles
+        assert row[Strategy.CB].cost > 0
+
+
+def test_kernel_size_sweep_shape():
+    series = kernel_size_sweep(taps_list=(8, 32))
+    assert [taps for taps, _g in series] == [8, 32]
+    assert all(gain > 10.0 for _t, gain in series)
+
+
+def test_duplication_crossover_exists():
+    rows, crossover = duplication_crossover(frame_sizes=(16, 512))
+    small, large = rows
+    assert small[2] > small[1]   # Dup's PCR beats CB's at small frames
+    assert large[2] < large[1]   # and loses at large frames
+    assert crossover == 512

@@ -1,0 +1,138 @@
+"""Tests for ProgramBuilder / FunctionBuilder structure."""
+
+import pytest
+
+from repro.frontend import ProgramBuilder
+from repro.ir.operations import OpCode
+from repro.ir.symbols import Storage
+from tests.conftest import compile_and_run
+
+
+def test_globals_and_locals_declared():
+    pb = ProgramBuilder("t")
+    g = pb.global_array("g", 8, float)
+    s = pb.global_scalar("s", int, init=7)
+    with pb.function("main") as f:
+        l = f.local_array("l", 4, float)
+        ls = f.local_scalar("ls", int)
+        f.assign(l[0], 1.0)
+        f.assign(ls[0], 2)
+        f.assign(g[0], l[0])
+        f.assign(s[0], ls[0])
+    module = pb.build()
+    assert module.globals.get("g").size == 8
+    assert module.globals.get("s").initializer == [7]
+    locals_ = {sym.name: sym for sym in module.main.local_symbols()}
+    assert locals_["l"].storage is Storage.LOCAL
+    assert locals_["ls"].size == 1
+
+
+def test_main_gets_halt_helper_gets_ret():
+    pb = ProgramBuilder("t")
+    out = pb.global_scalar("out", int)
+    with pb.function("helper") as f:
+        pass
+    with pb.function("main") as f:
+        f.assign(out[0], 1)
+    module = pb.build()
+    assert module.main.blocks[-1].terminator.opcode is OpCode.HALT
+    assert module.function("helper").blocks[-1].terminator.opcode is OpCode.RET
+
+
+def test_constants_hoisted_to_entry_once():
+    pb = ProgramBuilder("t")
+    out = pb.global_array("out", 4, float)
+    with pb.function("main") as f:
+        x = f.float_var("x")
+        f.assign(x, 0.0)
+        with f.loop(4) as i:
+            # 2.5 is used every iteration but must materialize once.
+            f.assign(x, x + 2.5 * 1.0)
+            f.assign(out[i], x)
+    module = pb.build()
+    entry_consts = [
+        op for op in module.main.blocks[0].ops if op.opcode is OpCode.FCONST
+    ]
+    body_consts = [
+        op
+        for block in module.main.blocks[1:]
+        for op in block.ops
+        if op.opcode is OpCode.FCONST
+    ]
+    assert entry_consts
+    assert not body_consts
+    sim, _ = compile_and_run(module)
+    assert sim.read_global("out") == [2.5, 5.0, 7.5, 10.0]
+
+
+def test_duplicate_function_name_rejected():
+    pb = ProgramBuilder("t")
+    with pb.function("f") as f:
+        pass
+    with pytest.raises(ValueError):
+        with pb.function("f") as f:
+            pass
+
+
+def test_loop_depths_annotated():
+    pb = ProgramBuilder("t")
+    out = pb.global_scalar("out", float)
+    with pb.function("main") as f:
+        acc = f.float_var()
+        f.assign(acc, 0.0)
+        with f.loop(2):
+            with f.loop(3):
+                f.assign(acc, acc + 1.0)
+        f.assign(out[0], acc)
+    module = pb.build()
+    depths = {block.label: block.loop_depth for block in module.main.blocks}
+    assert max(depths.values()) == 2
+    assert depths[module.main.blocks[0].label] == 0
+
+
+def test_param_access_and_return_value():
+    pb = ProgramBuilder("t")
+    out = pb.global_scalar("out", float)
+    with pb.function("scale", params=[("x", float), ("k", float)], returns=float) as f:
+        f.ret(f.param("x") * f.param("k"))
+    with pb.function("main") as f:
+        f.assign(out[0], pb.get("scale")(3.0, 4.0))
+    sim, _ = compile_and_run(pb.build())
+    assert sim.read_global("out") == 12.0
+
+
+def test_unknown_param_raises():
+    pb = ProgramBuilder("t")
+    with pb.function("f", params=[("x", float)]) as f:
+        with pytest.raises(KeyError):
+            f.param("missing")
+        f.ret()
+    with pb.function("main") as f:
+        pass
+    pb.build()
+
+
+def test_ret_value_without_declared_type_rejected():
+    pb = ProgramBuilder("t")
+    with pytest.raises(ValueError):
+        with pb.function("f") as f:
+            f.ret(1.0)
+
+
+def test_step_must_be_positive():
+    pb = ProgramBuilder("t")
+    with pb.function("main") as f:
+        with pytest.raises(ValueError):
+            with f.for_range(0, 10, step=0):
+                pass
+        with pytest.raises(ValueError):
+            with f.for_range(10, 0, step=-1):
+                pass
+
+
+def test_else_without_if_rejected():
+    pb = ProgramBuilder("t")
+    with pb.function("main") as f:
+        with pytest.raises(RuntimeError):
+            with f.else_():
+                pass

@@ -1,0 +1,212 @@
+"""End-to-end semantics of the structured control-flow constructs."""
+
+import pytest
+
+from repro.frontend import ProgramBuilder
+from repro.partition.strategies import Strategy
+from tests.conftest import compile_and_run, run_all_strategies
+
+
+def test_counted_loop_runs_exact_trip_count():
+    pb = ProgramBuilder("t")
+    out = pb.global_scalar("out", int)
+    with pb.function("main") as f:
+        n = f.int_var("n")
+        f.assign(n, 0)
+        with f.loop(37):
+            f.assign(n, n + 1)
+        f.assign(out[0], n)
+    sim, _ = compile_and_run(pb.build())
+    assert sim.read_global("out") == 37
+
+
+def test_zero_trip_hw_loop_skips_body():
+    pb = ProgramBuilder("t")
+    out = pb.global_scalar("out", int)
+    probe = pb.global_scalar("probe", int)
+    with pb.function("main") as f:
+        count = f.index_var("count")
+        f.assign(count, 0)
+        n = f.int_var("n")
+        f.assign(n, 0)
+        with f.loop(count):
+            f.assign(n, n + 1)
+        f.assign(out[0], n)
+        # Work *after* the loop must still execute (regression test for
+        # the zero-trip skip jumping over trailing instructions).
+        f.assign(probe[0], 99)
+    sim, _ = compile_and_run(pb.build())
+    assert sim.read_global("out") == 0
+    assert sim.read_global("probe") == 99
+
+
+def test_runtime_trip_count():
+    pb = ProgramBuilder("t")
+    counts = pb.global_array("counts", 3, int, init=[5, 0, 2])
+    out = pb.global_array("out", 3, int)
+    with pb.function("main") as f:
+        with f.loop(3) as i:
+            limit = f.index_var("limit")
+            f.assign(limit, counts[i])
+            total = f.int_var("total")
+            f.assign(total, 0)
+            with f.loop(limit):
+                f.assign(total, total + 2)
+            f.assign(out[i], total)
+    sim, _ = compile_and_run(pb.build())
+    assert sim.read_global("out") == [10, 0, 4]
+
+
+def test_for_range_with_start_and_step():
+    pb = ProgramBuilder("t")
+    out = pb.global_scalar("out", int)
+    with pb.function("main") as f:
+        total = f.int_var("total")
+        f.assign(total, 0)
+        with f.for_range(3, 12, step=3) as i:  # 3, 6, 9
+            f.assign(total, total + i)
+        f.assign(out[0], total)
+    sim, _ = compile_and_run(pb.build())
+    assert sim.read_global("out") == 18
+
+
+def test_software_loop_matches_hw_loop():
+    def build(hw):
+        pb = ProgramBuilder("t")
+        out = pb.global_scalar("out", int)
+        with pb.function("main") as f:
+            total = f.int_var("total")
+            f.assign(total, 0)
+            with f.for_range(0, 9, hw=hw) as i:
+                f.assign(total, total + i)
+            f.assign(out[0], total)
+        return pb.build()
+
+    sim_hw, result_hw = compile_and_run(build(True))
+    sim_sw, result_sw = compile_and_run(build(False))
+    assert sim_hw.read_global("out") == sim_sw.read_global("out") == 36
+    # The zero-overhead loop must be strictly faster than compare/branch.
+    assert result_hw.cycles < result_sw.cycles
+
+
+def test_nested_hw_loops():
+    pb = ProgramBuilder("t")
+    out = pb.global_scalar("out", int)
+    with pb.function("main") as f:
+        total = f.int_var("total")
+        f.assign(total, 0)
+        with f.loop(4):
+            with f.loop(5):
+                with f.loop(3):
+                    f.assign(total, total + 1)
+        f.assign(out[0], total)
+    sim, _ = compile_and_run(pb.build())
+    assert sim.read_global("out") == 60
+
+
+def test_if_without_else():
+    pb = ProgramBuilder("t")
+    out = pb.global_array("out", 4, int)
+    with pb.function("main") as f:
+        with f.loop(4) as i:
+            v = f.int_var("v")
+            f.assign(v, 0)
+            probe = f.int_var("probe")
+            f.assign(probe, i > 1)
+            with f.if_(probe):
+                f.assign(v, 7)
+            f.assign(out[i], v)
+    sim, _ = compile_and_run(pb.build())
+    assert sim.read_global("out") == [0, 0, 7, 7]
+
+
+def test_if_else_both_arms():
+    pb = ProgramBuilder("t")
+    out = pb.global_array("out", 4, int)
+    with pb.function("main") as f:
+        with f.loop(4) as i:
+            v = f.int_var("v")
+            idx = f.int_var("idx")
+            f.assign(idx, i + 0)
+            with f.if_((idx % 2) == 0):
+                f.assign(v, 100)
+            with f.else_():
+                f.assign(v, -100)
+            f.assign(out[i], v)
+    sim, _ = compile_and_run(pb.build())
+    assert sim.read_global("out") == [100, -100, 100, -100]
+
+
+def test_nested_if_else():
+    pb = ProgramBuilder("t")
+    out = pb.global_array("out", 4, int)
+    with pb.function("main") as f:
+        with f.loop(4) as i:
+            x = f.int_var("x")
+            f.assign(x, i + 0)
+            v = f.int_var("v")
+            with f.if_(x < 2):
+                with f.if_(x < 1):
+                    f.assign(v, 0)
+                with f.else_():
+                    f.assign(v, 1)
+            with f.else_():
+                with f.if_(x < 3):
+                    f.assign(v, 2)
+                with f.else_():
+                    f.assign(v, 3)
+            f.assign(out[i], v)
+    sim, _ = compile_and_run(pb.build())
+    assert sim.read_global("out") == [0, 1, 2, 3]
+
+
+def test_while_loop():
+    pb = ProgramBuilder("t")
+    out = pb.global_scalar("out", int)
+    with pb.function("main") as f:
+        n = f.int_var("n")
+        total = f.int_var("total")
+        f.assign(n, 10)
+        f.assign(total, 0)
+        with f.while_(lambda: n > 0):
+            f.assign(total, total + n)
+            f.assign(n, n - 3)
+        f.assign(out[0], total)
+    sim, _ = compile_and_run(pb.build())
+    assert sim.read_global("out") == 10 + 7 + 4 + 1
+
+
+def test_while_loop_never_entered():
+    pb = ProgramBuilder("t")
+    out = pb.global_scalar("out", int)
+    with pb.function("main") as f:
+        n = f.int_var("n")
+        f.assign(n, 0)
+        with f.while_(lambda: n > 0):
+            f.assign(n, n - 1)
+        f.assign(out[0], 42)
+    sim, _ = compile_and_run(pb.build())
+    assert sim.read_global("out") == 42
+
+
+def test_control_flow_consistent_across_strategies():
+    def build():
+        pb = ProgramBuilder("t")
+        out = pb.global_scalar("out", int)
+        with pb.function("main") as f:
+            total = f.int_var("total")
+            f.assign(total, 0)
+            with f.loop(6) as i:
+                x = f.int_var()
+                f.assign(x, i + 0)
+                with f.if_((x % 2) == 0):
+                    f.assign(total, total + x)
+                with f.else_():
+                    f.assign(total, total - 1)
+            f.assign(out[0], total)
+        return pb.build()
+
+    def check(sim, strategy):
+        assert sim.read_global("out") == (0 + 2 + 4) - 3, strategy
+
+    run_all_strategies(build, check)

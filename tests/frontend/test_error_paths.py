@@ -1,0 +1,73 @@
+"""Error-path behaviour of the front end: clear failures, not miscompiles."""
+
+import pytest
+
+from repro.frontend import ProgramBuilder
+from repro.frontend.expressions import wrap
+
+
+def test_assigning_to_plain_expression_rejected():
+    pb = ProgramBuilder("t")
+    with pb.function("main") as f:
+        x = f.float_var("x")
+        with pytest.raises(TypeError, match="cannot assign"):
+            f.assign(x + 1.0, 2.0)
+
+
+def test_strings_rejected_in_expressions():
+    with pytest.raises(TypeError):
+        wrap("hello")
+
+
+def test_float_immediate_as_index_rejected():
+    pb = ProgramBuilder("t")
+    data = pb.global_array("data", 4, float, init=[0.0] * 4)
+    out = pb.global_scalar("out", float)
+    with pytest.raises(TypeError, match="float immediate"):
+        with pb.function("main") as f:
+            f.assign(out[0], data[1.5])
+
+
+def test_call_arity_mismatch_rejected():
+    pb = ProgramBuilder("t")
+    with pb.function("one", params=[("x", float)], returns=float) as f:
+        f.ret(f.param("x"))
+    with pb.function("main") as f:
+        with pytest.raises(TypeError, match="takes 1 arguments"):
+            pb.get("one")(1.0, 2.0)
+
+
+def test_unsupported_element_type_rejected():
+    pb = ProgramBuilder("t")
+    with pytest.raises(TypeError, match="unsupported element type"):
+        pb.global_array("bad", 4, str)
+
+
+def test_duplicate_global_rejected():
+    pb = ProgramBuilder("t")
+    pb.global_array("g", 4, float)
+    with pytest.raises(ValueError, match="duplicate symbol"):
+        pb.global_array("g", 8, float)
+
+
+def test_unknown_function_handle_rejected():
+    pb = ProgramBuilder("t")
+    with pytest.raises(KeyError):
+        pb.get("missing")
+
+
+def test_build_validates_by_default():
+    from repro.ir.operations import OpCode, Operation
+    from repro.ir.validate import IRValidationError
+    from repro.ir.values import Label
+
+    pb = ProgramBuilder("t")
+    out = pb.global_scalar("out", int)
+    with pb.function("main") as f:
+        f.assign(out[0], 1)
+    # Sabotage after the function closed but before build().
+    pb.module.main.blocks[0].ops.insert(
+        0, Operation(OpCode.BR, target=Label("nowhere"))
+    )
+    with pytest.raises(IRValidationError):
+        pb.build()

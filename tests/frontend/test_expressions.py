@@ -1,0 +1,176 @@
+"""Tests for expression construction and lowering."""
+
+import pytest
+
+from repro.frontend import ProgramBuilder
+from repro.frontend.expressions import (
+    ArrayRef,
+    BinOp,
+    Compare,
+    Const,
+    UnOp,
+    VarRef,
+    sqrt,
+    wrap,
+)
+from repro.ir.operations import OpCode
+from repro.ir.types import DataType
+from tests.conftest import compile_and_run
+
+
+def test_wrap_coerces_python_numbers():
+    assert isinstance(wrap(3), Const)
+    assert wrap(3).dtype is DataType.INT
+    assert wrap(3.5).dtype is DataType.FLOAT
+    assert wrap(True).value == 1
+    with pytest.raises(TypeError):
+        wrap("text")
+
+
+def test_operator_overloading_builds_trees():
+    pb = ProgramBuilder("t")
+    with pb.function("main") as f:
+        x = f.float_var("x")
+        expr = x * 2.0 + 1.0
+        assert isinstance(expr, BinOp) and expr.operator == "+"
+        assert isinstance(expr.left, BinOp) and expr.left.operator == "*"
+        cmp = x < 3.0
+        assert isinstance(cmp, Compare)
+        neg = -x
+        assert isinstance(neg, UnOp)
+
+
+def test_float_promotion():
+    pb = ProgramBuilder("t")
+    with pb.function("main") as f:
+        i = f.int_var("i")
+        x = f.float_var("x")
+        assert (i + x).dtype is DataType.FLOAT
+        assert (i + 1).dtype is DataType.INT
+
+
+def _ops_of(module, block_index=0):
+    return [op.opcode for op in module.main.blocks[block_index].ops]
+
+
+def test_mac_idiom_folds_to_fmac():
+    pb = ProgramBuilder("t")
+    a = pb.global_array("a", 4, float, init=[1, 2, 3, 4.0])
+    b = pb.global_array("b", 4, float, init=[1, 1, 1, 1.0])
+    out = pb.global_scalar("out", float)
+    with pb.function("main") as f:
+        acc = f.float_var("acc")
+        f.assign(acc, 0.0)
+        with f.loop(4) as i:
+            f.assign(acc, acc + a[i] * b[i])
+        f.assign(out[0], acc)
+    module = pb.build()
+    body = module.main.blocks[1]
+    assert OpCode.FMAC in [op.opcode for op in body.ops]
+    assert OpCode.FADD not in [op.opcode for op in body.ops]
+
+
+def test_mac_idiom_both_operand_orders():
+    for flipped in (False, True):
+        pb = ProgramBuilder("t")
+        out = pb.global_scalar("out", float)
+        with pb.function("main") as f:
+            acc = f.float_var("acc")
+            x = f.float_var("x")
+            f.assign(acc, 1.0)
+            f.assign(x, 2.0)
+            if flipped:
+                f.assign(acc, x * x + acc)
+            else:
+                f.assign(acc, acc + x * x)
+            f.assign(out[0], acc)
+        module = pb.build()
+        opcodes = [op.opcode for op in module.main.operations()]
+        assert OpCode.FMAC in opcodes
+        sim, _ = compile_and_run(module)
+        assert sim.read_global("out") == 5.0
+
+
+def test_int_float_conversion_ops_inserted():
+    pb = ProgramBuilder("t")
+    out = pb.global_scalar("out", float)
+    with pb.function("main") as f:
+        i = f.int_var("i")
+        f.assign(i, 3)
+        f.assign(out[0], i * 0.5)
+    module = pb.build()
+    opcodes = [op.opcode for op in module.main.operations()]
+    assert OpCode.ITOF in opcodes
+    sim, _ = compile_and_run(module)
+    assert sim.read_global("out") == 1.5
+
+
+def test_sqrt_intrinsic():
+    pb = ProgramBuilder("t")
+    out = pb.global_scalar("out", float)
+    with pb.function("main") as f:
+        x = f.float_var("x")
+        f.assign(x, 9.0)
+        f.assign(out[0], sqrt(x))
+    sim, _ = compile_and_run(pb.build())
+    assert sim.read_global("out") == 3.0
+
+
+def test_division_and_modulo_semantics():
+    pb = ProgramBuilder("t")
+    out = pb.global_array("out", 4, int)
+    with pb.function("main") as f:
+        a = f.int_var("a")
+        b = f.int_var("b")
+        f.assign(a, -7)
+        f.assign(b, 2)
+        f.assign(out[0], a / b)
+        f.assign(out[1], a % b)
+        f.assign(out[2], (7 + a * 0) / b)
+        f.assign(out[3], abs(a))
+    sim, _ = compile_and_run(pb.build())
+    assert sim.read_global("out") == [-3, -1, 3, 7]
+
+
+def test_bitwise_operations():
+    pb = ProgramBuilder("t")
+    out = pb.global_array("out", 6, int)
+    with pb.function("main") as f:
+        a = f.int_var("a")
+        f.assign(a, 0b1100)
+        f.assign(out[0], a & 0b1010)
+        f.assign(out[1], a | 0b0011)
+        f.assign(out[2], a ^ 0b1111)
+        f.assign(out[3], a << 2)
+        f.assign(out[4], a >> 2)
+        f.assign(out[5], ~a)
+    sim, _ = compile_and_run(pb.build())
+    assert sim.read_global("out") == [8, 15, 3, 48, 3, ~12]
+
+
+def test_compare_chain_values():
+    pb = ProgramBuilder("t")
+    out = pb.global_array("out", 6, int)
+    with pb.function("main") as f:
+        a = f.int_var("a")
+        f.assign(a, 5)
+        f.assign(out[0], a == 5)
+        f.assign(out[1], a != 5)
+        f.assign(out[2], a < 6)
+        f.assign(out[3], a <= 4)
+        f.assign(out[4], a > 4)
+        f.assign(out[5], a >= 6)
+    sim, _ = compile_and_run(pb.build())
+    assert sim.read_global("out") == [1, 0, 1, 0, 1, 0]
+
+
+def test_array_ref_of_int_array_usable_as_index():
+    pb = ProgramBuilder("t")
+    idx = pb.global_array("idx", 3, int, init=[2, 0, 1])
+    data = pb.global_array("data", 3, float, init=[10.0, 20.0, 30.0])
+    out = pb.global_array("out", 3, float)
+    with pb.function("main") as f:
+        with f.loop(3) as i:
+            f.assign(out[i], data[idx[i]])
+    sim, _ = compile_and_run(pb.build())
+    assert sim.read_global("out") == [30.0, 10.0, 20.0]

@@ -1,0 +1,131 @@
+"""Tests for induction-variable strength reduction of array indices."""
+
+import pytest
+
+from repro.frontend import ProgramBuilder
+from repro.ir.operations import OpCode
+from tests.conftest import compile_and_run
+
+
+def _body_opcodes(module):
+    """Opcodes of every block at loop depth >= 1."""
+    ops = []
+    for block in module.main.blocks:
+        if block.loop_depth >= 1:
+            ops.extend(op.opcode for op in block.ops)
+    return ops
+
+
+def test_affine_index_reduced_out_of_inner_loop():
+    pb = ProgramBuilder("t")
+    x = pb.global_array("x", 24, float, init=[float(i) for i in range(24)])
+    out = pb.global_array("out", 8, float)
+    with pb.function("main") as f:
+        with f.loop(8, name="n") as n:
+            acc = f.float_var("acc")
+            f.assign(acc, 0.0)
+            with f.loop(16, name="k") as k:
+                f.assign(acc, acc + x[n + k] * 1.0)
+            f.assign(out[n], acc)
+    module = pb.build()
+    sim, _ = compile_and_run(module)
+    expected = [sum(range(n, n + 16)) for n in range(8)]
+    assert sim.read_global("out") == [float(v) for v in expected]
+
+
+def test_reduced_index_semantics_with_subtraction():
+    pb = ProgramBuilder("t")
+    x = pb.global_array("x", 10, float, init=[float(i) for i in range(10)])
+    out = pb.global_array("out", 5, float)
+    with pb.function("main") as f:
+        lim = 5
+        with f.loop(lim, name="j") as j:
+            # x[9 - j] walks backwards via a negative-step induction.
+            f.assign(out[j], x[9 - j])
+    sim, _ = compile_and_run(pb.build())
+    assert sim.read_global("out") == [9.0, 8.0, 7.0, 6.0, 5.0]
+
+
+def test_same_expression_reuses_one_induction_register():
+    pb = ProgramBuilder("t")
+    x = pb.global_array("x", 20, float, init=[1.0] * 20)
+    out = pb.global_scalar("out", float)
+    with pb.function("main") as f:
+        acc = f.float_var("acc")
+        f.assign(acc, 0.0)
+        with f.loop(4, name="m") as m:
+            with f.loop(8, name="i") as i:
+                # x[i + m] appears twice: one induction register expected.
+                f.assign(acc, acc + x[i + m] * x[i + m])
+        f.assign(out[0], acc)
+    module = pb.build()
+    sim, _ = compile_and_run(module)
+    assert sim.read_global("out") == 32.0
+
+
+def test_guard_rejects_modifying_assumed_invariant():
+    pb = ProgramBuilder("t")
+    x = pb.global_array("x", 32, float, init=[0.0] * 32)
+    with pb.function("main") as f:
+        base = f.index_var("base")
+        f.assign(base, 0)
+        acc = f.float_var("acc")
+        with f.loop(4, name="i") as i:
+            f.assign(acc, x[base + i])
+            with pytest.raises(RuntimeError, match="strength-reduced"):
+                f.assign(base, base + 1)
+
+
+def test_enclosing_index_is_valid_invariant_despite_its_latch():
+    pb = ProgramBuilder("t")
+    x = pb.global_array(
+        "x", 12, float, init=[float(i) for i in range(12)]
+    )
+    out = pb.global_array("out", 3, float)
+    with pb.function("main") as f:
+        with f.loop(3, name="outer") as outer:
+            acc = f.float_var("acc")
+            f.assign(acc, 0.0)
+            with f.loop(4, name="inner") as inner:
+                f.assign(acc, acc + x[outer + inner] * 1.0)
+            # `outer` increments at its own latch; no guard violation.
+            f.assign(out[outer], acc)
+    sim, _ = compile_and_run(pb.build())
+    assert sim.read_global("out") == [
+        float(sum(range(0, 4))),
+        float(sum(range(1, 5))),
+        float(sum(range(2, 6))),
+    ]
+
+
+def test_index_var_invariant_is_reduced():
+    pb = ProgramBuilder("t")
+    x = pb.global_array("x", 40, float, init=[float(i) for i in range(40)])
+    out = pb.global_array("out", 4, float)
+    with pb.function("main") as f:
+        with f.loop(4, name="r") as r:
+            row = f.index_var("row")
+            f.assign(row, r * 10)
+            acc = f.float_var("acc")
+            f.assign(acc, 0.0)
+            with f.loop(10, name="c") as c:
+                f.assign(acc, acc + x[row + c] * 1.0)
+            f.assign(out[r], acc)
+    sim, _ = compile_and_run(pb.build())
+    assert sim.read_global("out") == [
+        float(sum(range(0, 10))),
+        float(sum(range(10, 20))),
+        float(sum(range(20, 30))),
+        float(sum(range(30, 40))),
+    ]
+
+
+def test_reduction_in_software_loop():
+    pb = ProgramBuilder("t")
+    x = pb.global_array("x", 12, float, init=[float(i) for i in range(12)])
+    out = pb.global_array("out", 4, float)
+    with pb.function("main") as f:
+        with f.for_range(0, 4, hw=False, name="i") as i:
+            f.assign(out[i], x[i + 8])
+    sim, _ = compile_and_run(pb.build())
+    assert sim.read_global("out") == [8.0, 9.0, 10.0, 11.0]

@@ -1,0 +1,143 @@
+"""Tests for the IR reference interpreter + differential back-end checks."""
+
+import pytest
+
+from repro.frontend import ProgramBuilder
+from repro.ir.interp import IRInterpreter, IRInterpreterError
+from repro.partition.strategies import Strategy
+from repro.workloads.registry import APPLICATIONS, KERNELS
+from tests.conftest import compile_and_run
+
+
+def test_interpreter_runs_simple_program():
+    pb = ProgramBuilder("t")
+    out = pb.global_scalar("out", float)
+    with pb.function("main") as f:
+        acc = f.float_var("acc")
+        f.assign(acc, 1.5)
+        f.assign(acc, acc * 4.0)
+        f.assign(out[0], acc)
+    interp = IRInterpreter(pb.build()).run()
+    assert interp.read_global("out") == 6.0
+
+
+def test_interpreter_control_flow_and_calls():
+    pb = ProgramBuilder("t")
+    out = pb.global_array("out", 3, int)
+    with pb.function("double", params=[("x", int)], returns=int) as f:
+        f.ret(f.param("x") * 2)
+    with pb.function("main") as f:
+        total = f.int_var("total")
+        f.assign(total, 0)
+        with f.loop(5) as i:
+            with f.if_((total % 2) == 0):
+                f.assign(total, total + 3)
+            with f.else_():
+                f.assign(total, total + 1)
+        f.assign(out[0], total)
+        f.assign(out[1], pb.get("double")(21))
+        n = f.int_var("n")
+        f.assign(n, 3)
+        with f.while_(lambda: n > 0):
+            f.assign(n, n - 1)
+        f.assign(out[2], n)
+    interp = IRInterpreter(pb.build()).run()
+    total = 0
+    for _ in range(5):
+        total += 3 if total % 2 == 0 else 1
+    assert interp.read_global("out") == [total, 42, 0]
+
+
+def test_interpreter_zero_trip_loop():
+    pb = ProgramBuilder("t")
+    out = pb.global_scalar("out", int)
+    with pb.function("main") as f:
+        count = f.index_var("c")
+        f.assign(count, 0)
+        n = f.int_var("n")
+        f.assign(n, 0)
+        with f.loop(count):
+            f.assign(n, n + 1)
+        f.assign(out[0], n + 7)
+    interp = IRInterpreter(pb.build()).run()
+    assert interp.read_global("out") == 7
+
+
+def test_interpreter_bounds_fault():
+    pb = ProgramBuilder("t")
+    data = pb.global_array("data", 4, float, init=[0.0] * 4)
+    out = pb.global_scalar("out", float)
+    with pb.function("main") as f:
+        i = f.index_var("i")
+        f.assign(i, 7)
+        f.assign(out[0], data[i])
+    with pytest.raises(IRInterpreterError, match="out of bounds"):
+        IRInterpreter(pb.build()).run()
+
+
+def test_interpreter_runaway_guard():
+    pb = ProgramBuilder("t")
+    out = pb.global_scalar("out", int)
+    with pb.function("main") as f:
+        n = f.int_var("n")
+        f.assign(n, 1)
+        with f.while_(lambda: n > 0):
+            f.assign(n, n + 1)
+        f.assign(out[0], n)
+    with pytest.raises(IRInterpreterError, match="max_steps"):
+        IRInterpreter(pb.build(), max_steps=2000).run()
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["fir_32_1", "iir_1_1", "latnrm_8_1", "lmsfir_8_1", "mult_4_4", "fft_256"],
+)
+def test_interpreter_matches_kernel_references(name):
+    workload = KERNELS[name]
+    interp = IRInterpreter(workload.build()).run()
+
+    class Shim:
+        @staticmethod
+        def read_global(symbol):
+            return interp.read_global(symbol)
+
+    workload.verify(Shim())
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "adpcm",
+        "histogram",
+        "V32encode",
+        "trellis",
+        "lpc",
+        "spectral",
+        "edge_detect",
+        "compress",
+        "G721WFencode",
+    ],
+)
+def test_interpreter_matches_application_references(name):
+    workload = APPLICATIONS[name]
+    interp = IRInterpreter(workload.build()).run()
+
+    class Shim:
+        @staticmethod
+        def read_global(symbol):
+            return interp.read_global(symbol)
+
+    workload.verify(Shim())
+
+
+@pytest.mark.parametrize("name", ["fir_32_1", "mult_4_4", "latnrm_8_1"])
+def test_backend_differential_against_interpreter(name):
+    """The whole back end (allocation, regalloc, compaction, simulation)
+    must agree with the sequential IR walker on every output symbol."""
+    workload = KERNELS[name]
+    interp = IRInterpreter(workload.build()).run()
+    sim, _result = compile_and_run(workload.build(), strategy=Strategy.CB)
+    for symbol in interp.module.globals:
+        assert sim.read_global(symbol.name) == interp.read_global(
+            symbol.name
+        ), symbol.name

@@ -1,0 +1,80 @@
+"""Tests for blocks, functions, and modules."""
+
+import pytest
+
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.operations import OpCode, Operation
+from repro.ir.symbols import Storage, Symbol
+from repro.ir.types import RegClass
+from repro.ir.values import Label
+
+
+def test_block_terminator_and_fallthrough():
+    block = BasicBlock("b")
+    assert block.terminator is None
+    assert block.falls_through()
+    block.append(Operation(OpCode.BR, target=Label("t")))
+    assert block.terminator is not None
+    assert not block.falls_through()
+    assert block.successor_labels() == ["t"]
+
+
+def test_conditional_branch_falls_through():
+    block = BasicBlock("b")
+    func = Function("f")
+    cond = func.new_register(RegClass.INT)
+    block.append(Operation(OpCode.BRT, sources=(cond,), target=Label("t")))
+    assert block.falls_through()
+    assert block.successor_labels() == ["t"]
+
+
+def test_function_register_and_block_factories():
+    func = Function("f")
+    r1 = func.new_register(RegClass.INT)
+    r2 = func.new_register(RegClass.FLOAT)
+    assert r1.index != r2.index
+    b1 = func.new_block("x")
+    b2 = func.new_block("x")
+    assert b1.label != b2.label
+    assert func.entry is b1
+    assert func.block(b2.label) is b2
+    with pytest.raises(KeyError):
+        func.block("missing")
+
+
+def test_function_params_get_registers():
+    func = Function("f")
+    from repro.ir.types import DataType
+
+    func.add_symbol(Symbol("n", data_type=DataType.INT, storage=Storage.PARAM))
+    func.add_symbol(Symbol("x", storage=Storage.PARAM))
+    assert len(func.params) == 2
+    assert len(func.param_registers) == 2
+    assert func.param_registers[0].rclass is RegClass.INT
+    assert func.param_registers[1].rclass is RegClass.FLOAT
+
+
+def test_module_symbol_scoping():
+    module = Module("m")
+    module.add_global(Symbol("g", size=4))
+    func = Function("main")
+    func.add_symbol(Symbol("l", size=2, storage=Storage.LOCAL))
+    module.add_function(func)
+    names = [s.name for s in module.all_symbols()]
+    assert names == ["g", "l"]
+    with pytest.raises(ValueError):
+        module.add_global(Symbol("loc", storage=Storage.LOCAL))
+    with pytest.raises(ValueError):
+        module.add_function(Function("main"))
+
+
+def test_partitionable_excludes_opaque_and_params():
+    module = Module("m")
+    module.add_global(Symbol("g"))
+    module.add_global(Symbol("o", opaque=True))
+    func = Function("main")
+    func.add_symbol(Symbol("p", storage=Storage.PARAM))
+    module.add_function(func)
+    assert [s.name for s in module.partitionable_symbols()] == ["g"]

@@ -1,0 +1,102 @@
+"""Tests for repro.ir.operations."""
+
+import pytest
+
+from repro.ir.operations import (
+    OpCode,
+    Operation,
+    TERMINATORS,
+    UnitClass,
+    opcode_info,
+)
+from repro.ir.symbols import Symbol
+from repro.ir.types import RegClass
+from repro.ir.values import Immediate, Label, VirtualRegister
+
+
+def _reg(rclass=RegClass.INT, index=0):
+    return VirtualRegister(index, rclass)
+
+
+def test_every_opcode_has_info():
+    for opcode in OpCode:
+        info = opcode_info(opcode)
+        assert info.unit in UnitClass
+
+
+def test_unit_assignment_matches_paper_figure2():
+    assert opcode_info(OpCode.FMAC).unit is UnitClass.FPU
+    assert opcode_info(OpCode.ADD).unit is UnitClass.DU
+    assert opcode_info(OpCode.AADD).unit is UnitClass.AU
+    assert opcode_info(OpCode.LOAD).unit is UnitClass.MU
+    assert opcode_info(OpCode.STORE).unit is UnitClass.MU
+    assert opcode_info(OpCode.BR).unit is UnitClass.PCU
+    assert opcode_info(OpCode.LOOP_BEGIN).unit is UnitClass.PCU
+
+
+def test_integer_division_truncates_toward_zero():
+    div = opcode_info(OpCode.DIV).evaluate
+    mod = opcode_info(OpCode.MOD).evaluate
+    assert div(7, 2) == 3
+    assert div(-7, 2) == -3
+    assert div(7, -2) == -3
+    assert mod(-7, 2) == -1
+    assert mod(7, -2) == 1
+
+
+def test_operation_validates_arity():
+    with pytest.raises(ValueError):
+        Operation(OpCode.ADD, dest=_reg(), sources=(_reg(index=1),))
+    with pytest.raises(ValueError):
+        Operation(OpCode.NEG, sources=(_reg(),))  # missing dest
+
+
+def test_call_dest_is_optional():
+    Operation(OpCode.CALL, sources=(), callee="f")
+    Operation(OpCode.CALL, dest=_reg(), sources=(), callee="f")
+    with pytest.raises(ValueError):
+        Operation(OpCode.BR, dest=_reg(), target=Label("x"))
+
+
+def test_fmac_reads_its_destination():
+    dest = _reg(RegClass.FLOAT)
+    a = _reg(RegClass.FLOAT, 1)
+    b = _reg(RegClass.FLOAT, 2)
+    op = Operation(OpCode.FMAC, dest=dest, sources=(a, b))
+    assert dest in op.reads()
+    assert op.writes() == [dest]
+
+
+def test_memory_operand_accessors():
+    sym = Symbol("a", size=8)
+    index = _reg(RegClass.ADDR)
+    offset = Immediate(1)
+    load = Operation(OpCode.LOAD, dest=_reg(), sources=(index,), symbol=sym)
+    assert load.index_operand() is index
+    assert load.offset_operand() is None
+    load2 = Operation(
+        OpCode.LOAD, dest=_reg(), sources=(index, offset), symbol=sym
+    )
+    assert load2.offset_operand() == offset
+    value = _reg(RegClass.FLOAT)
+    store = Operation(OpCode.STORE, sources=(value, index, offset), symbol=sym)
+    assert store.index_operand() is index
+    assert store.offset_operand() == offset
+    with pytest.raises(ValueError):
+        Operation(OpCode.ADD, dest=_reg(), sources=(index, index)).index_operand()
+
+
+def test_classification_predicates():
+    sym = Symbol("a", size=4)
+    load = Operation(
+        OpCode.LOAD, dest=_reg(), sources=(Immediate(0),), symbol=sym
+    )
+    assert load.is_load and load.is_memory and not load.is_store
+    branch = Operation(OpCode.BR, target=Label("x"))
+    assert branch.is_control and branch.is_terminator
+    assert OpCode.BRT in TERMINATORS and OpCode.LOOP_BEGIN not in TERMINATORS
+
+
+def test_branch_target_must_be_label():
+    with pytest.raises(TypeError):
+        Operation(OpCode.BR, target="not-a-label")

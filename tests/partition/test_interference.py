@@ -1,0 +1,97 @@
+"""Tests for the interference graph data structure."""
+
+import pytest
+
+from repro.ir.symbols import Symbol
+from repro.partition.interference import InterferenceGraph
+
+
+def _graph(names):
+    g = InterferenceGraph()
+    syms = {n: Symbol(n, size=4) for n in names}
+    for sym in syms.values():
+        g.add_node(sym)
+    return g, syms
+
+
+def test_nodes_unique():
+    g, syms = _graph("ab")
+    g.add_node(syms["a"])
+    assert len(g) == 2
+
+
+def test_edge_weight_max_policy():
+    g, syms = _graph("ab")
+    g.add_edge(syms["a"], syms["b"], 2)
+    g.add_edge(syms["a"], syms["b"], 1)
+    assert g.weight(syms["a"], syms["b"]) == 2
+    g.add_edge(syms["b"], syms["a"], 5)
+    assert g.weight(syms["a"], syms["b"]) == 5
+
+
+def test_edge_weight_accumulate_policy():
+    g, syms = _graph("ab")
+    g.add_edge(syms["a"], syms["b"], 2, accumulate=True)
+    g.add_edge(syms["a"], syms["b"], 3, accumulate=True)
+    assert g.weight(syms["a"], syms["b"]) == 5
+
+
+def test_no_self_edges():
+    g, syms = _graph("a")
+    with pytest.raises(ValueError):
+        g.add_edge(syms["a"], syms["a"], 1)
+
+
+def test_neighbors_and_degree():
+    g, syms = _graph("abc")
+    g.add_edge(syms["a"], syms["b"], 1)
+    g.add_edge(syms["a"], syms["c"], 2)
+    assert g.neighbors(syms["a"]) == {"b": 1, "c": 2}
+    assert g.degree(syms["a"]) == 2
+    assert g.degree(syms["b"]) == 1
+
+
+def test_internal_cost():
+    g, syms = _graph("abc")
+    g.add_edge(syms["a"], syms["b"], 3)
+    g.add_edge(syms["b"], syms["c"], 4)
+    assert g.internal_cost([syms["a"], syms["b"], syms["c"]]) == 7
+    assert g.internal_cost([syms["a"], syms["b"]]) == 3
+    assert g.internal_cost([syms["a"], syms["c"]]) == 0
+    assert g.total_weight() == 7
+
+
+def test_duplication_marking_idempotent():
+    g, syms = _graph("a")
+    g.mark_duplication(syms["a"])
+    g.mark_duplication(syms["a"])
+    assert g.duplication_candidates == [syms["a"]]
+
+
+def test_describe_lists_edges():
+    g, syms = _graph("ab")
+    g.add_edge(syms["a"], syms["b"], 2)
+    g.mark_duplication(syms["a"])
+    text = g.describe()
+    assert "(a, b) weight 2" in text
+    assert "duplication candidates: a" in text
+
+
+def test_to_dot_renders_nodes_edges_and_partition():
+    from repro.ir.symbols import Symbol
+    from repro.partition.greedy import GreedyPartitioner
+
+    g = InterferenceGraph()
+    a = Symbol("a", size=4)
+    b = Symbol("b", size=1)
+    g.add_node(a)
+    g.add_node(b)
+    g.add_edge(a, b, 3)
+    g.mark_duplication(a)
+    plain = g.to_dot()
+    assert '"a" [shape=box' in plain       # arrays are boxes
+    assert '"b" [shape=ellipse' in plain   # scalars are ellipses
+    assert "(dup)" in plain
+    cut = g.to_dot(GreedyPartitioner(g).partition())
+    assert "style=dashed" in cut           # the cut edge
+    assert "fillcolor" in cut

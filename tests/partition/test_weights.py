@@ -1,0 +1,25 @@
+"""Tests for edge-weight policies."""
+
+from repro.ir.block import BasicBlock
+from repro.partition.weights import ProfileWeights, StaticDepthWeights
+
+
+def test_static_weights_are_depth_plus_one():
+    policy = StaticDepthWeights()
+    assert policy.weight(BasicBlock("a", loop_depth=0)) == 1
+    assert policy.weight(BasicBlock("b", loop_depth=1)) == 2
+    assert policy.weight(BasicBlock("c", loop_depth=3)) == 4
+
+
+def test_static_weights_accumulate_by_default():
+    assert StaticDepthWeights().accumulate
+    assert not StaticDepthWeights(accumulate=False).accumulate
+
+
+def test_profile_weights_use_counts():
+    policy = ProfileWeights({"hot": 1000, "cold": 0})
+    assert policy.weight(BasicBlock("hot")) == 1000
+    # Unexecuted and unknown blocks still get a minimum weight of 1.
+    assert policy.weight(BasicBlock("cold")) == 1
+    assert policy.weight(BasicBlock("unknown")) == 1
+    assert policy.accumulate

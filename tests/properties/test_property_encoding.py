@@ -1,0 +1,71 @@
+"""Property test: instruction encoding round-trips arbitrary schedules."""
+
+from hypothesis import given, settings
+
+from repro.compiler.compaction import compact_block
+from repro.machine.encoding import Decoder, Encoder
+from tests.properties.test_property_scheduler import random_blocks
+
+
+def _ops_equal(a, b):
+    if a.opcode is not b.opcode:
+        return False
+    if (a.dest is None) != (b.dest is None):
+        return False
+    if a.dest is not None and (
+        a.dest.rclass is not b.dest.rclass
+        or (a.dest.physical or 0) != (b.dest.physical or 0)
+    ):
+        return False
+    if len(a.sources) != len(b.sources):
+        return False
+    for sa, sb in zip(a.sources, b.sources):
+        if type(sa) is not type(sb):
+            return False
+        if hasattr(sa, "value"):
+            if sa.value != sb.value:
+                return False
+        else:
+            if sa.rclass is not sb.rclass:
+                return False
+            if (sa.physical or 0) != (sb.physical or 0):
+                return False
+    return (
+        a.symbol is b.symbol
+        and a.bank is b.bank
+        and a.locked == b.locked
+        and a.shadow == b.shadow
+    )
+
+
+@given(random_blocks())
+@settings(max_examples=120, deadline=None)
+def test_encode_decode_round_trip(block):
+    instructions = compact_block(block)
+    encoder = Encoder()
+    encoded_bits = [
+        encoder.encode_instruction(instruction) for instruction in instructions
+    ]
+    from repro.machine.encoding import EncodedProgram
+
+    encoded = EncodedProgram(
+        encoded_bits, encoder.pool, encoder.symbols, encoder.names
+    )
+    decoder = Decoder(encoded)
+    for bits, original in zip(encoded_bits, instructions):
+        decoded = decoder.decode_instruction(bits)
+        assert set(decoded.slots) == set(original.slots)
+        for unit, op in original:
+            assert _ops_equal(op, decoded.slots[unit]), (unit, op)
+
+
+@given(random_blocks())
+@settings(max_examples=60, deadline=None)
+def test_encoding_is_deterministic(block):
+    instructions = compact_block(block)
+    first = Encoder()
+    second = Encoder()
+    bits_a = [first.encode_instruction(i) for i in instructions]
+    bits_b = [second.encode_instruction(i) for i in instructions]
+    assert bits_a == bits_b
+    assert first.pool == second.pool

@@ -1,0 +1,147 @@
+"""Property test: DSL expression evaluation matches Python semantics.
+
+Random expression trees are built simultaneously as DSL expressions and
+as Python closures; the compiled program must compute exactly what
+Python computes (float arithmetic is IEEE double in both worlds).
+"""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.frontend import ProgramBuilder
+from tests.conftest import compile_and_run
+
+
+@st.composite
+def expression_trees(draw, depth=0):
+    """Returns a (spec) tree; leaves are variable indices or constants."""
+    if depth >= 3 or draw(st.booleans()):
+        if draw(st.booleans()):
+            return ("var", draw(st.integers(0, 2)))
+        return ("const", draw(st.integers(-4, 4)))
+    op = draw(st.sampled_from(["+", "-", "*", "min", "max", "abs", "neg"]))
+    if op in ("abs", "neg"):
+        return (op, draw(expression_trees(depth=depth + 1)))
+    return (
+        op,
+        draw(expression_trees(depth=depth + 1)),
+        draw(expression_trees(depth=depth + 1)),
+    )
+
+
+def _eval_python(tree, env):
+    kind = tree[0]
+    if kind == "var":
+        return env[tree[1]]
+    if kind == "const":
+        return float(tree[1])
+    if kind == "abs":
+        return abs(_eval_python(tree[1], env))
+    if kind == "neg":
+        return -_eval_python(tree[1], env)
+    a = _eval_python(tree[1], env)
+    b = _eval_python(tree[2], env)
+    if kind == "+":
+        return a + b
+    if kind == "-":
+        return a - b
+    if kind == "*":
+        return a * b
+    if kind == "min":
+        return min(a, b)
+    if kind == "max":
+        return max(a, b)
+    raise AssertionError(kind)
+
+
+def _eval_dsl(tree, variables):
+    from repro.frontend.expressions import fmax, fmin
+
+    kind = tree[0]
+    if kind == "var":
+        return variables[tree[1]]
+    if kind == "const":
+        return float(tree[1])
+    if kind == "abs":
+        return abs(_eval_dsl(tree[1], variables))
+    if kind == "neg":
+        return -_eval_dsl(tree[1], variables)
+    a = _eval_dsl(tree[1], variables)
+    b = _eval_dsl(tree[2], variables)
+    if kind == "+":
+        return a + b
+    if kind == "-":
+        return a - b
+    if kind == "*":
+        return a * b
+    if kind == "min":
+        return fmin(a, b)
+    if kind == "max":
+        return fmax(a, b)
+    raise AssertionError(kind)
+
+
+@given(
+    expression_trees(),
+    st.tuples(
+        st.floats(-8, 8, allow_nan=False),
+        st.floats(-8, 8, allow_nan=False),
+        st.floats(-8, 8, allow_nan=False),
+    ),
+)
+@settings(max_examples=80, deadline=None)
+def test_expression_semantics_match_python(tree, values):
+    # Constant-only trees lower to a pure immediate; fine, but make sure
+    # at least something interesting happens most of the time.
+    pb = ProgramBuilder("expr")
+    out = pb.global_scalar("out", float)
+    with pb.function("main") as f:
+        variables = []
+        for i, value in enumerate(values):
+            v = f.float_var("v%d" % i)
+            f.assign(v, value)
+            variables.append(v)
+        f.assign(out[0], _eval_dsl(tree, variables))
+    sim, _ = compile_and_run(pb.build())
+    expected = _eval_python(tree, list(values))
+    assert sim.read_global("out") == expected
+
+
+@given(
+    st.integers(-100, 100),
+    st.integers(-100, 100),
+    st.sampled_from(["+", "-", "*", "/", "%", "&", "|", "^"]),
+)
+@settings(max_examples=80, deadline=None)
+def test_integer_binops_match_c_semantics(a, b, op):
+    if op in ("/", "%"):
+        assume(b != 0)
+    pb = ProgramBuilder("ints")
+    out = pb.global_scalar("out", int)
+    with pb.function("main") as f:
+        ra = f.int_var("a")
+        rb = f.int_var("b")
+        f.assign(ra, a)
+        f.assign(rb, b)
+        expr = {
+            "+": ra + rb,
+            "-": ra - rb,
+            "*": ra * rb,
+            "/": ra / rb,
+            "%": ra % rb,
+            "&": ra & rb,
+            "|": ra | rb,
+            "^": ra ^ rb,
+        }[op]
+        f.assign(out[0], expr)
+    sim, _ = compile_and_run(pb.build())
+    if op == "/":
+        q = abs(a) // abs(b)
+        expected = q if (a >= 0) == (b >= 0) else -q
+    elif op == "%":
+        q = abs(a) // abs(b)
+        tq = q if (a >= 0) == (b >= 0) else -q
+        expected = a - tq * b
+    else:
+        expected = eval("a %s b" % op)
+    assert sim.read_global("out") == expected

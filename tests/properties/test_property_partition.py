@@ -1,0 +1,83 @@
+"""Property-based tests for the greedy partitioner."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.symbols import Symbol
+from repro.partition.greedy import GreedyPartitioner
+from repro.partition.interference import InterferenceGraph
+
+
+@st.composite
+def interference_graphs(draw):
+    n = draw(st.integers(min_value=0, max_value=10))
+    symbols = [Symbol("s%d" % i, size=1 + i) for i in range(n)]
+    graph = InterferenceGraph()
+    for sym in symbols:
+        graph.add_node(sym)
+    if n >= 2:
+        edge_count = draw(st.integers(min_value=0, max_value=n * (n - 1) // 2))
+        for _ in range(edge_count):
+            a = draw(st.integers(min_value=0, max_value=n - 1))
+            b = draw(st.integers(min_value=0, max_value=n - 1))
+            if a == b:
+                continue
+            weight = draw(st.integers(min_value=1, max_value=9))
+            graph.add_edge(symbols[a], symbols[b], weight, accumulate=True)
+    return graph
+
+
+@given(interference_graphs())
+@settings(max_examples=120, deadline=None)
+def test_partition_assigns_every_node_exactly_once(graph):
+    result = GreedyPartitioner(graph).partition()
+    names_x = {s.name for s in result.set_x}
+    names_y = {s.name for s in result.set_y}
+    assert not names_x & names_y
+    assert names_x | names_y == {s.name for s in graph.nodes}
+
+
+@given(interference_graphs())
+@settings(max_examples=120, deadline=None)
+def test_partition_cost_monotonically_decreases(graph):
+    result = GreedyPartitioner(graph).partition()
+    trace = result.cost_trace
+    assert trace[0] == graph.total_weight()
+    for earlier, later in zip(trace, trace[1:]):
+        assert later < earlier
+    assert result.final_cost >= 0
+
+
+@given(interference_graphs())
+@settings(max_examples=120, deadline=None)
+def test_final_cost_matches_internal_cost(graph):
+    result = GreedyPartitioner(graph).partition()
+    recomputed = graph.internal_cost(result.set_x) + graph.internal_cost(
+        result.set_y
+    )
+    assert recomputed == result.final_cost
+
+
+@given(interference_graphs())
+@settings(max_examples=60, deadline=None)
+def test_partition_is_local_minimum(graph):
+    """No single node move can further decrease the cost (the greedy
+    stopping condition, checked exhaustively)."""
+    result = GreedyPartitioner(graph).partition()
+    base = result.final_cost
+    # Only X -> Y moves are part of the paper's algorithm; verify none of
+    # them would still help.
+    for node in result.set_x:
+        moved_x = [s for s in result.set_x if s is not node]
+        moved_y = result.set_y + [node]
+        cost = graph.internal_cost(moved_x) + graph.internal_cost(moved_y)
+        assert cost >= base
+
+
+@given(interference_graphs())
+@settings(max_examples=60, deadline=None)
+def test_partition_deterministic(graph):
+    first = GreedyPartitioner(graph).partition()
+    second = GreedyPartitioner(graph).partition()
+    assert [s.name for s in first.set_x] == [s.name for s in second.set_x]
+    assert first.cost_trace == second.cost_trace

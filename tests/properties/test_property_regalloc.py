@@ -1,0 +1,110 @@
+"""Property tests for register allocation under varying pressure.
+
+Random programs holding N values live simultaneously (N spans both
+sides of the 22-register allocatable limit) must compute the same
+results as pure Python, spilled or not — and nested-call variants must
+preserve caller state across callee-save/restore.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import compile_module
+from repro.frontend import ProgramBuilder
+from repro.partition.strategies import Strategy
+from repro.sim.simulator import Simulator
+
+
+@given(
+    st.integers(min_value=1, max_value=40),
+    st.lists(st.integers(-5, 5), min_size=1, max_size=10),
+)
+@settings(max_examples=40, deadline=None)
+def test_live_value_pressure(live_count, updates):
+    """Create `live_count` simultaneously-live floats, mutate a rotating
+    subset, and fold them all at the end."""
+    pb = ProgramBuilder("pressure")
+    out = pb.global_scalar("out", float)
+    with pb.function("main") as f:
+        values = []
+        python_values = []
+        for i in range(live_count):
+            v = f.float_var("v%d" % i)
+            f.assign(v, float(i))
+            values.append(v)
+            python_values.append(float(i))
+        for round_no, delta in enumerate(updates):
+            target = round_no % live_count
+            f.assign(values[target], values[target] + float(delta))
+            python_values[target] += float(delta)
+        total = f.float_var("total")
+        f.assign(total, 0.0)
+        for v in values:
+            f.assign(total, total + v)
+        f.assign(out[0], total)
+    compiled = compile_module(pb.build(), strategy=Strategy.CB)
+    simulator = Simulator(compiled.program)
+    simulator.run()
+    assert simulator.read_global("out") == sum(python_values)
+
+
+@given(st.integers(min_value=1, max_value=30))
+@settings(max_examples=25, deadline=None)
+def test_caller_state_survives_calls_under_pressure(live_count):
+    pb = ProgramBuilder("calls")
+    out = pb.global_scalar("out", float)
+    with pb.function("mix", params=[("x", float)], returns=float) as f:
+        a = f.float_var("a")
+        b = f.float_var("b")
+        f.assign(a, f.param("x") * 2.0)
+        f.assign(b, a + 1.0)
+        f.ret(a + b)
+    with pb.function("main") as f:
+        values = []
+        for i in range(live_count):
+            v = f.float_var()
+            f.assign(v, float(i) * 0.5)
+            values.append(v)
+        r = f.float_var("r")
+        f.assign(r, pb.get("mix")(3.0))
+        total = f.float_var("total")
+        f.assign(total, r)
+        for v in values:
+            f.assign(total, total + v)
+        f.assign(out[0], total)
+    compiled = compile_module(pb.build(), strategy=Strategy.CB)
+    simulator = Simulator(compiled.program)
+    simulator.run()
+    expected = (6.0 + 7.0) + sum(float(i) * 0.5 for i in range(live_count))
+    assert simulator.read_global("out") == expected
+
+
+@given(st.integers(min_value=24, max_value=36), st.booleans())
+@settings(max_examples=15, deadline=None)
+def test_spilled_loop_accumulators(live_count, use_cb):
+    """Loop-carried values that spill must still accumulate correctly."""
+    pb = ProgramBuilder("spill_loop")
+    data = pb.global_array("data", 8, float, init=[1.0] * 8)
+    out = pb.global_scalar("out", float)
+    with pb.function("main") as f:
+        accs = []
+        for i in range(live_count):
+            v = f.float_var()
+            f.assign(v, 0.0)
+            accs.append(v)
+        with f.loop(8) as i:
+            x = f.float_var("x")
+            f.assign(x, data[i])
+            for j, acc in enumerate(accs[:4]):
+                f.assign(acc, acc + x * float(j + 1))
+        total = f.float_var("total")
+        f.assign(total, 0.0)
+        for acc in accs:
+            f.assign(total, total + acc)
+        f.assign(out[0], total)
+    strategy = Strategy.CB if use_cb else Strategy.SINGLE_BANK
+    compiled = compile_module(pb.build(), strategy=strategy)
+    simulator = Simulator(compiled.program)
+    simulator.run()
+    expected = sum(8.0 * float(j + 1) for j in range(4))
+    assert simulator.read_global("out") == expected

@@ -1,0 +1,62 @@
+"""Tests for functional-unit utilization statistics."""
+
+import pytest
+
+from repro.compiler import compile_module
+from repro.machine.resources import FunctionalUnit
+from repro.partition.strategies import Strategy
+from repro.sim.simulator import Simulator
+from repro.sim.statistics import utilization
+from repro.workloads.registry import KERNELS
+
+
+def _measure(strategy, name="fir_32_1"):
+    workload = KERNELS[name]
+    compiled = compile_module(workload.build(), strategy=strategy)
+    simulator = Simulator(compiled.program)
+    result = simulator.run()
+    return utilization(compiled.program, result)
+
+
+def test_single_bank_uses_only_mu0():
+    report = _measure(Strategy.SINGLE_BANK)
+    assert report.busy[FunctionalUnit.MU0] > 0
+    assert report.busy[FunctionalUnit.MU1] == 0
+    assert report.memory_balance == 0.0
+
+
+def test_partitioned_run_balances_memory_units():
+    report = _measure(Strategy.CB)
+    assert report.busy[FunctionalUnit.MU1] > 0
+    assert 0.3 <= report.memory_balance <= 0.7
+
+
+def test_memory_throughput_improves_with_partitioning():
+    base = _measure(Strategy.SINGLE_BANK)
+    cb = _measure(Strategy.CB)
+    # Same dynamic memory operations, fewer cycles.
+    assert cb.memory_ops == base.memory_ops
+    assert cb.dual_issue_headroom > base.dual_issue_headroom
+
+
+def test_utilization_fractions_bounded():
+    report = _measure(Strategy.CB)
+    for unit in FunctionalUnit:
+        assert 0.0 <= report.utilization(unit) <= 1.0
+
+
+def test_describe_renders_all_units():
+    report = _measure(Strategy.CB)
+    text = report.describe()
+    for unit in FunctionalUnit:
+        assert unit.name in text
+    assert "memory ops" in text
+
+
+def test_empty_program_edge_case():
+    from repro.sim.statistics import UtilizationReport
+
+    report = UtilizationReport(0, {}, 0)
+    assert report.utilization(FunctionalUnit.MU0) == 0.0
+    assert report.memory_balance == 0.0
+    assert report.dual_issue_headroom == 0.0

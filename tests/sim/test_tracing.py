@@ -1,0 +1,47 @@
+"""Tests for profiling support (block execution counts)."""
+
+from repro.compiler import compile_module
+from repro.frontend import ProgramBuilder
+from repro.partition.strategies import Strategy
+from repro.sim.simulator import Simulator
+from repro.sim.tracing import collect_block_counts, profile_module
+
+
+def _loop_module():
+    pb = ProgramBuilder("t")
+    out = pb.global_scalar("out", float)
+    with pb.function("main") as f:
+        acc = f.float_var("acc")
+        f.assign(acc, 0.0)
+        with f.loop(10):
+            f.assign(acc, acc + 1.0)
+        f.assign(out[0], acc)
+    return pb.build()
+
+
+def test_block_counts_reflect_trip_counts():
+    module = _loop_module()
+    compiled = compile_module(module, strategy=Strategy.SINGLE_BANK)
+    sim = Simulator(compiled.program)
+    result = sim.run()
+    counts = collect_block_counts(compiled.program, result)
+    body_labels = [b.label for b in module.main.blocks if b.loop_depth == 1]
+    for label in body_labels:
+        assert counts[label] == 10
+    entry_label = module.main.blocks[0].label
+    assert counts[entry_label] == 1
+
+
+def test_profile_module_helper():
+    counts = profile_module(_loop_module)
+    assert max(counts.values()) == 10
+
+
+def test_profile_feeds_cb_profile_strategy():
+    counts = profile_module(_loop_module)
+    compiled = compile_module(
+        _loop_module(), strategy=Strategy.CB_PROFILE, profile_counts=counts
+    )
+    sim = Simulator(compiled.program)
+    sim.run()
+    assert sim.read_global("out") == 10.0

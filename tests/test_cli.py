@@ -1,0 +1,70 @@
+"""Tests for the `python -m repro` command-line driver."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fir_256_64" in out
+    assert "G721MLencode" in out
+
+
+def test_run_command(capsys):
+    assert main(["run", "fir_32_1", "--strategy", "CB"]) == 0
+    out = capsys.readouterr().out
+    assert "verified OK" in out
+    assert "cycles" in out
+
+
+def test_run_with_stats_and_dump(capsys):
+    assert main(["run", "mult_4_4", "--strategy", "CB", "--stats", "--dump"]) == 0
+    out = capsys.readouterr().out
+    assert "unit utilization" in out
+    assert "MU0" in out
+    assert "loop_begin" in out
+
+
+def test_run_with_pipelining(capsys):
+    assert main(["run", "fir_32_1", "--pipeline"]) == 0
+    out = capsys.readouterr().out
+    assert "verified OK" in out
+
+
+def test_compare_command(capsys):
+    assert main(["compare", "fir_32_1", "--strategies", "CB,IDEAL"]) == 0
+    out = capsys.readouterr().out
+    assert "baseline" in out
+    assert "Ideal" in out
+
+
+def test_run_profile_strategy(capsys):
+    assert main(["run", "mult_4_4", "--strategy", "CB_PROFILE"]) == 0
+    out = capsys.readouterr().out
+    assert "verified OK" in out
+
+
+def test_unknown_workload_errors():
+    with pytest.raises(SystemExit):
+        main(["run", "nonexistent"])
+
+
+def test_unknown_strategy_errors():
+    with pytest.raises(SystemExit):
+        main(["run", "fir_32_1", "--strategy", "BOGUS"])
+
+
+def test_parser_has_all_commands():
+    parser = build_parser()
+    text = parser.format_help()
+    for command in ("list", "run", "compare", "figure7", "figure8", "table3"):
+        assert command in text
+
+
+def test_graph_command_produces_dot(capsys):
+    assert main(["graph", "fir_32_1"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("graph interference {")
+    assert '"coeff" -- "x"' in out or '"x" -- "coeff"' in out

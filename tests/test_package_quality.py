@@ -1,0 +1,68 @@
+"""Package-level quality gates: documentation and API hygiene."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _walk_modules():
+    names = ["repro"]
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        names.append(info.name)
+    return names
+
+
+MODULES = _walk_modules()
+
+
+def test_every_module_importable_and_documented():
+    undocumented = []
+    for name in MODULES:
+        module = importlib.import_module(name)
+        if not (module.__doc__ or "").strip():
+            undocumented.append(name)
+    assert not undocumented, "modules without docstrings: %s" % undocumented
+
+
+def test_all_exports_resolve():
+    for name in MODULES:
+        module = importlib.import_module(name)
+        for symbol in getattr(module, "__all__", ()):
+            assert hasattr(module, symbol), "%s.%s missing" % (name, symbol)
+
+
+def test_public_classes_documented():
+    undocumented = []
+    for name in MODULES:
+        module = importlib.import_module(name)
+        for symbol in getattr(module, "__all__", ()):
+            obj = getattr(module, symbol)
+            if isinstance(obj, type) and not (obj.__doc__ or "").strip():
+                undocumented.append("%s.%s" % (name, symbol))
+    assert not undocumented, undocumented
+
+
+def test_version_string():
+    assert repro.__version__
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3 and all(p.isdigit() for p in parts)
+
+
+def test_no_module_shadows_stdlib():
+    stdlib = {"types", "enum", "math", "statistics", "encodings"}
+    leaf_names = {name.rsplit(".", 1)[-1] for name in MODULES}
+    # `types` and `statistics` exist as leaves but under the repro
+    # namespace only; they must not be importable bare from src layout.
+    import types as stdlib_types
+
+    assert not stdlib_types.__file__.startswith("src")
+
+
+def test_quickstart_doctest_runs():
+    import doctest
+
+    results = doctest.testmod(repro, verbose=False)
+    assert results.failed == 0

@@ -1,0 +1,59 @@
+"""Tests for the synthetic input-data generators."""
+
+import math
+
+from repro.workloads import data
+
+
+def test_generators_are_deterministic():
+    assert data.speech(64, seed=3) == data.speech(64, seed=3)
+    assert data.samples(32, seed=1) == data.samples(32, seed=1)
+    assert (data.image(8, 8, seed=2) == data.image(8, 8, seed=2)).all()
+    assert data.bits(16, seed=4) == data.bits(16, seed=4)
+
+
+def test_seeds_differentiate():
+    assert data.samples(32, seed=1) != data.samples(32, seed=2)
+
+
+def test_image_range_and_shape():
+    img = data.image(16, 24, seed=5)
+    assert img.shape == (16, 24)
+    assert img.min() >= 0 and img.max() <= 255
+
+
+def test_hamming_window_properties():
+    w = data.hamming(32)
+    assert len(w) == 32
+    assert w[0] == w[-1]
+    assert abs(max(w) - 1.0) < 0.01
+    assert all(0 < v <= 1.0 for v in w)
+
+
+def test_fir_coefficients_normalized():
+    coeffs = data.fir_coefficients(33)
+    assert len(coeffs) == 33
+    assert math.isclose(sum(coeffs), 1.0, rel_tol=1e-9)
+
+
+def test_bit_reversal_is_an_involution():
+    table = data.bit_reversal_permutation(16)
+    assert sorted(table) == list(range(16))
+    for i, j in enumerate(table):
+        assert table[j] == i
+
+
+def test_twiddles_lie_on_unit_circle():
+    real, imag = data.twiddles(32)
+    assert len(real) == len(imag) == 16
+    for re, im in zip(real, imag):
+        assert math.isclose(re * re + im * im, 1.0, rel_tol=1e-12)
+
+
+def test_int_samples_range():
+    values = data.int_samples(100, -5, 5, seed=9)
+    assert all(-5 <= v < 5 for v in values)
+
+
+def test_bits_are_binary():
+    assert set(data.bits(64)) <= {0, 1}

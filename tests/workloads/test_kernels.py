@@ -1,0 +1,101 @@
+"""Functional verification of every kernel under every configuration.
+
+This is the suite's core integration matrix: each kernel's compiled code
+must produce the reference outputs under all six allocation strategies.
+The big kernels run a reduced configuration set to keep the suite fast.
+"""
+
+import pytest
+
+from repro.partition.strategies import Strategy
+from repro.sim.tracing import collect_block_counts
+from repro.workloads.registry import KERNELS
+from tests.conftest import compile_and_run
+
+FAST_KERNELS = [
+    "fir_32_1",
+    "iir_1_1",
+    "latnrm_8_1",
+    "lmsfir_8_1",
+    "mult_4_4",
+    "fft_256",
+]
+
+ALL_STRATEGIES = [
+    Strategy.SINGLE_BANK,
+    Strategy.CB,
+    Strategy.CB_PROFILE,
+    Strategy.CB_DUP,
+    Strategy.FULL_DUP,
+    Strategy.IDEAL,
+]
+
+
+def _profile(workload):
+    from repro.compiler import compile_module
+    from repro.sim.simulator import Simulator
+
+    compiled = compile_module(workload.build(), strategy=Strategy.SINGLE_BANK)
+    sim = Simulator(compiled.program)
+    result = sim.run()
+    return collect_block_counts(compiled.program, result)
+
+
+@pytest.mark.parametrize("name", FAST_KERNELS)
+@pytest.mark.parametrize("strategy", ALL_STRATEGIES, ids=lambda s: s.name)
+def test_kernel_correct_under_strategy(name, strategy):
+    workload = KERNELS[name]
+    counts = _profile(workload) if strategy.needs_profile else None
+    sim, _ = compile_and_run(
+        workload.build(), strategy=strategy, profile_counts=counts
+    )
+    workload.verify(sim)
+
+
+@pytest.mark.parametrize(
+    "name", [n for n in KERNELS if n not in FAST_KERNELS and n != "fft_1024"]
+)
+def test_large_kernel_correct(name):
+    workload = KERNELS[name]
+    for strategy in (Strategy.SINGLE_BANK, Strategy.CB, Strategy.IDEAL):
+        sim, _ = compile_and_run(workload.build(), strategy=strategy)
+        workload.verify(sim)
+
+
+@pytest.mark.parametrize("name", FAST_KERNELS)
+def test_kernel_cb_not_slower_than_baseline(name):
+    workload = KERNELS[name]
+    _, base = compile_and_run(workload.build(), strategy=Strategy.SINGLE_BANK)
+    _, cb = compile_and_run(workload.build(), strategy=Strategy.CB)
+    assert cb.cycles <= base.cycles
+
+
+@pytest.mark.parametrize("name", FAST_KERNELS)
+def test_kernel_ideal_at_least_as_fast_as_cb(name):
+    workload = KERNELS[name]
+    _, cb = compile_and_run(workload.build(), strategy=Strategy.CB)
+    _, ideal = compile_and_run(workload.build(), strategy=Strategy.IDEAL)
+    assert ideal.cycles <= cb.cycles
+
+
+def test_kernel_table_matches_paper_table1():
+    assert list(KERNELS) == [
+        "fft_1024",
+        "fft_256",
+        "fir_256_64",
+        "fir_32_1",
+        "iir_4_64",
+        "iir_1_1",
+        "latnrm_32_64",
+        "latnrm_8_1",
+        "lmsfir_32_64",
+        "lmsfir_8_1",
+        "mult_10_10",
+        "mult_4_4",
+    ]
+
+
+def test_fft_1024_smoke():
+    workload = KERNELS["fft_1024"]
+    sim, _ = compile_and_run(workload.build(), strategy=Strategy.CB)
+    workload.verify(sim)

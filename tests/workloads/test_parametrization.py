@@ -1,0 +1,80 @@
+"""The workload classes are a library: custom sizes must work too."""
+
+import pytest
+
+from repro.partition.strategies import Strategy
+from repro.workloads.kernels.fft import Fft
+from repro.workloads.kernels.fir import Fir
+from repro.workloads.kernels.iir import Iir
+from repro.workloads.kernels.latnrm import Latnrm
+from repro.workloads.kernels.lmsfir import LmsFir
+from repro.workloads.kernels.matmul import MatMul
+from tests.conftest import compile_and_run
+
+
+@pytest.mark.parametrize(
+    "workload",
+    [
+        Fir(8, 4),
+        Fir(5, 3),
+        Iir(2, 10),
+        Iir(3, 1),
+        Latnrm(4, 6),
+        LmsFir(4, 5),
+        MatMul(3),
+        MatMul(5),
+        Fft(16),
+        Fft(32),
+    ],
+    ids=lambda w: w.name,
+)
+def test_custom_sizes_verify(workload):
+    for strategy in (Strategy.SINGLE_BANK, Strategy.CB):
+        sim, _ = compile_and_run(workload.build(), strategy=strategy)
+        workload.verify(sim)
+
+
+def test_fft_rejects_non_power_of_two():
+    with pytest.raises(ValueError):
+        Fft(24)
+
+
+def test_g721_rejects_bad_variants():
+    from repro.workloads.apps.g721 import G721
+
+    with pytest.raises(ValueError):
+        G721("xx", "encode")
+    with pytest.raises(ValueError):
+        G721("ml", "transcode")
+    with pytest.raises(ValueError):
+        G721("wf", "decode")  # paper's suite has no WF decoder
+
+
+def test_names_follow_paper_convention():
+    assert Fir(256, 64).name == "fir_256_64"
+    assert MatMul(10).name == "mult_10_10"
+    assert Fft(1024).name == "fft_1024"
+    assert Latnrm(32, 64).name == "latnrm_32_64"
+
+
+def test_registry_lookup_helpers():
+    from repro.workloads.registry import all_workloads, get_workload
+
+    assert get_workload("fir_32_1").name == "fir_32_1"
+    with pytest.raises(KeyError):
+        get_workload("nope")
+    table = all_workloads()
+    assert len(table) == 23  # 12 kernels + 11 applications
+
+
+def test_workload_instances_are_reusable():
+    """build() must return a fresh module every call — compilation
+    consumes modules."""
+    workload = Fir(8, 2)
+    module_a = workload.build()
+    module_b = workload.build()
+    assert module_a is not module_b
+    sim_a, _ = compile_and_run(module_a, strategy=Strategy.CB)
+    sim_b, _ = compile_and_run(module_b, strategy=Strategy.IDEAL)
+    workload.verify(sim_a)
+    workload.verify(sim_b)

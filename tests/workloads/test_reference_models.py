@@ -1,0 +1,159 @@
+"""Validation of the reference models themselves.
+
+The compiled benchmarks are verified against these Python/NumPy models,
+so the models must be right on their own terms: mathematical identities,
+known closed forms, and information-theoretic sanity checks.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+
+def test_dct_matrix_is_orthonormal():
+    from repro.workloads.apps.compress import BLOCK, dct_matrix
+
+    c = np.asarray(dct_matrix()).reshape(BLOCK, BLOCK)
+    identity = c @ c.T
+    assert np.allclose(identity, np.eye(BLOCK), atol=1e-12)
+
+
+def test_dct_of_constant_block_is_dc_only():
+    from repro.workloads.apps.compress import BLOCK, dct_matrix
+
+    c = np.asarray(dct_matrix()).reshape(BLOCK, BLOCK)
+    block = np.full((BLOCK, BLOCK), 5.0)
+    coef = c @ block @ c.T
+    assert coef[0, 0] == pytest.approx(5.0 * BLOCK)
+    off_dc = np.abs(coef).sum() - abs(coef[0, 0])
+    assert off_dc < 1e-9
+
+
+def test_viterbi_decodes_noiseless_stream_exactly():
+    from repro.workloads.apps.trellis import _encode, viterbi_reference
+
+    rng = np.random.default_rng(5)
+    bits = rng.integers(0, 2, 120).tolist()
+    r0, r1 = _encode(bits)
+    decoded, metric = viterbi_reference(r0, r1)
+    assert min(metric) == 0  # a zero-cost path exists
+    # All but the trailing unterminated decisions must match.
+    assert decoded[:-2] == bits[:-2]
+
+
+def test_viterbi_corrects_isolated_errors():
+    from repro.workloads.apps.trellis import _encode, viterbi_reference
+
+    rng = np.random.default_rng(6)
+    bits = rng.integers(0, 2, 120).tolist()
+    r0, r1 = _encode(bits)
+    r0[10] ^= 1
+    r1[60] ^= 1
+    decoded, _metric = viterbi_reference(r0, r1)
+    errors = sum(1 for a, b in zip(decoded[:-2], bits[:-2]) if a != b)
+    assert errors == 0
+
+
+def test_g721_codec_reconstruction_quality():
+    """The ML decoder applied to the ML encoder's codes must track the
+    input: ADPCM at 4 bits/sample keeps SNR comfortably positive."""
+    from repro.workloads.apps.g721 import (
+        ml_decode_reference,
+        ml_encode_reference,
+    )
+    from repro.workloads import data
+
+    samples = [v * 8000 for v in data.speech(400, seed=3)]
+    codes = ml_encode_reference(samples)
+    decoded = ml_decode_reference(codes)
+    # Skip the adaptive warm-up.
+    x = np.asarray(samples[50:])
+    y = np.asarray(decoded[50:])
+    noise = x - y
+    snr = 10 * math.log10(float(x @ x) / float(noise @ noise))
+    assert snr > 10.0
+
+
+def test_g721_codes_use_full_alphabet():
+    from repro.workloads.apps.g721 import ml_encode_reference
+    from repro.workloads import data
+
+    samples = [v * 8000 for v in data.speech(400, seed=3)]
+    codes = ml_encode_reference(samples)
+    assert set(codes) >= set(range(8))  # both signs, several magnitudes
+
+
+def test_adpcm_reference_tracks_signal():
+    from repro.workloads.apps.adpcm import STEP_TABLE, encode_reference
+
+    assert STEP_TABLE == sorted(STEP_TABLE)
+    ramp = [100 * i for i in range(64)]
+    codes, predicted = encode_reference(ramp)
+    # A rising ramp must mostly produce positive (sign bit clear) codes.
+    positive = sum(1 for c in codes if not c & 8)
+    assert positive > len(codes) * 0.8
+    assert predicted > 0
+
+
+def test_lpc_reference_on_known_ar1_process():
+    """For an AR(1) signal x[n] = a*x[n-1] + e, the first reflection
+    coefficient approaches a."""
+    from repro.workloads.apps.lpc import lpc_reference
+
+    rng = np.random.default_rng(9)
+    a = 0.8
+    x = [0.0]
+    for _ in range(159):
+        x.append(a * x[-1] + rng.normal(0, 0.1))
+    window = [1.0] * 160  # rectangular to keep the statistics clean
+    _r, _coeffs, k, _err = lpc_reference(x, window)
+    assert k[0] == pytest.approx(a, abs=0.1)
+
+
+def test_histogram_reference_conservation():
+    from repro.workloads.apps.histogram import (
+        LEVELS,
+        PIXELS,
+        histogram_reference,
+    )
+    from repro.workloads import data
+
+    image = data.image(64, 64, seed=13)
+    hist, lut, out = histogram_reference(image)
+    assert sum(hist) == PIXELS
+    assert lut == sorted(lut)  # CDF is monotone
+    assert lut[-1] == LEVELS - 1
+    assert len(out) == PIXELS
+
+
+def test_spectral_reference_finds_dominant_tone():
+    from repro.workloads.apps.spectral import (
+        BINS,
+        FFT_SIZE,
+        FRAMES,
+        spectral_reference,
+    )
+
+    n = FFT_SIZE * FRAMES
+    tone_bin = 6
+    signal = [
+        math.sin(2 * math.pi * tone_bin * i / FFT_SIZE) for i in range(n)
+    ]
+    window = [1.0] * FFT_SIZE
+    psd = spectral_reference(signal, window)
+    assert int(np.argmax(psd)) == tone_bin
+
+
+def test_encode_reference_v32_constellation_energy():
+    from repro.workloads.apps.v32encode import CONSTELLATION, encode_reference
+    from repro.workloads import data
+
+    bits = data.bits(4 * 192, seed=37)
+    out_re, out_im = encode_reference(bits)
+    points = set(zip(out_re, out_im))
+    assert len(points) > 8  # many constellation points exercised
+    table_points = set(
+        (CONSTELLATION[2 * i], CONSTELLATION[2 * i + 1]) for i in range(32)
+    )
+    assert points <= table_points
