@@ -1,0 +1,118 @@
+"""Simulator/evaluation throughput tracking: emits ``BENCH_simspeed.json``.
+
+Measures the end-to-end wall clock of a full Table-3 evaluation under
+
+* the seed configuration (serial, reference interpreter),
+* the threaded-code backend, serial,
+* the threaded-code backend with ``--jobs 4`` (resolved exactly as the
+  CLI resolves it, i.e. capped at the machine's core count),
+
+plus raw simulator throughput (cycles/second per backend) on the largest
+FIR kernel.  The headline ``speedup`` compares the seed configuration
+against ``fast + --jobs 4``.
+
+Run either way:
+
+    python benchmarks/bench_simspeed.py
+    pytest benchmarks/bench_simspeed.py -q
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.compiler import compile_module
+from repro.evaluation.parallel import default_jobs, resolve_jobs
+from repro.evaluation.tables import table3
+from repro.partition.strategies import Strategy
+from repro.sim.fastsim import make_simulator
+from repro.workloads.registry import KERNELS
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_simspeed.json"
+
+#: wall-clock rounds per configuration (the minimum is reported)
+ROUNDS = 2
+
+THROUGHPUT_KERNEL = "fir_256_64"
+
+
+def _best_wall_clock(fn):
+    times = []
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def _simulator_throughput(backend):
+    compiled = compile_module(
+        KERNELS[THROUGHPUT_KERNEL].build(), strategy=Strategy.CB
+    )
+    simulators = [
+        make_simulator(compiled.program, backend=backend) for _ in range(3)
+    ]
+    cycles = 0
+    start = time.perf_counter()
+    for simulator in simulators:
+        cycles += simulator.run().cycles
+    elapsed = time.perf_counter() - start
+    return cycles, elapsed
+
+
+def collect():
+    """Run every measurement and return the report dict."""
+    table3(subset={"histogram"})  # warm imports and workload tables
+    jobs = resolve_jobs(4)
+    interp_serial = _best_wall_clock(lambda: table3())
+    fast_serial = _best_wall_clock(lambda: table3(backend="fast"))
+    fast_jobs = _best_wall_clock(lambda: table3(backend="fast", jobs=jobs))
+
+    report = {
+        "table3": {
+            "interp_serial_s": round(interp_serial, 4),
+            "fast_serial_s": round(fast_serial, 4),
+            "fast_jobs_s": round(fast_jobs, 4),
+            "jobs_requested": 4,
+            "jobs_resolved": jobs,
+            "cores": default_jobs(),
+            "speedup_fast_serial": round(interp_serial / fast_serial, 3),
+            "speedup": round(interp_serial / fast_jobs, 3),
+        },
+        "simulator": {},
+    }
+    for backend in ("interp", "fast"):
+        cycles, elapsed = _simulator_throughput(backend)
+        report["simulator"][backend] = {
+            "workload": THROUGHPUT_KERNEL,
+            "cycles": cycles,
+            "wall_clock_s": round(elapsed, 4),
+            "cycles_per_s": round(cycles / elapsed),
+        }
+    report["simulator"]["speedup"] = round(
+        report["simulator"]["fast"]["cycles_per_s"]
+        / report["simulator"]["interp"]["cycles_per_s"],
+        3,
+    )
+    return report
+
+
+def main():
+    report = collect()
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print("wrote %s" % OUTPUT)
+    return report
+
+
+def test_simspeed_trajectory():
+    """Emit the JSON and hold the PR's headline claim: a full Table-3
+    evaluation on the fast backend with ``--jobs 4`` beats the seed
+    serial interpreter by at least 2x."""
+    report = main()
+    assert report["table3"]["speedup"] >= 2.0
+    assert report["simulator"]["speedup"] >= 2.0
+
+
+if __name__ == "__main__":
+    main()

@@ -18,9 +18,18 @@ import sys
 
 from repro.compiler import CompileOptions, compile_module
 from repro.partition.strategies import PAPER_LABELS, Strategy
+from repro.sim.fastsim import BACKENDS, make_simulator
 from repro.sim.simulator import Simulator
 from repro.sim.statistics import utilization
 from repro.sim.tracing import collect_block_counts
+
+
+def _jobs(args):
+    """Resolve --jobs: None = serial, 0 = all cores, N = at most N
+    workers (capped at the machine's core count)."""
+    from repro.evaluation.parallel import resolve_jobs
+
+    return resolve_jobs(getattr(args, "jobs", None))
 
 
 def _strategy(name):
@@ -49,7 +58,7 @@ def _profile(workload):
     return collect_block_counts(compiled.program, result)
 
 
-def _run_one(workload, strategy, software_pipelining=False):
+def _run_one(workload, strategy, software_pipelining=False, backend="interp"):
     counts = _profile(workload) if strategy.needs_profile else None
     compiled = compile_module(
         workload.build(),
@@ -59,7 +68,7 @@ def _run_one(workload, strategy, software_pipelining=False):
             software_pipelining=software_pipelining,
         ),
     )
-    simulator = Simulator(compiled.program)
+    simulator = make_simulator(compiled.program, backend=backend)
     result = simulator.run()
     workload.verify(simulator)
     return compiled, simulator, result
@@ -80,7 +89,9 @@ def cmd_list(_args):
 def cmd_run(args):
     workload = _workload(args.workload)
     strategy = _strategy(args.strategy)
-    compiled, simulator, result = _run_one(workload, strategy, args.pipeline)
+    compiled, simulator, result = _run_one(
+        workload, strategy, args.pipeline, backend=args.backend
+    )
     print(
         "%s under %s: %d cycles (%d ops, %.2f ops/cycle), verified OK"
         % (
@@ -116,7 +127,9 @@ def cmd_compare(args):
     baseline = None
     print("%-14s %10s %8s" % ("configuration", "cycles", "gain"))
     for strategy in strategies:
-        _compiled, _sim, result = _run_one(workload, strategy, args.pipeline)
+        _compiled, _sim, result = _run_one(
+            workload, strategy, args.pipeline, backend=args.backend
+        )
         if baseline is None:
             baseline = result.cycles
         gain = 100.0 * (baseline / result.cycles - 1.0)
@@ -127,32 +140,39 @@ def cmd_compare(args):
     return 0
 
 
-def cmd_figure7(_args):
+def cmd_figure7(args):
     from repro.evaluation import figure7, render_figure7
 
-    print(render_figure7(figure7()))
+    print(render_figure7(figure7(jobs=_jobs(args), backend=args.backend)))
     return 0
 
 
-def cmd_figure8(_args):
+def cmd_figure8(args):
     from repro.evaluation import figure8, render_figure8
 
-    print(render_figure8(figure8()))
+    print(render_figure8(figure8(jobs=_jobs(args), backend=args.backend)))
     return 0
 
 
-def cmd_table3(_args):
+def cmd_table3(args):
     from repro.evaluation import render_table3, table3
 
-    print(render_table3(table3()))
+    print(render_table3(table3(jobs=_jobs(args), backend=args.backend)))
     return 0
 
 
-def cmd_report(_args):
+def cmd_report(args):
     from repro.evaluation import figure7, figure8, table3
     from repro.evaluation.reporting import render_markdown
 
-    print(render_markdown(figure7(), figure8(), table3()))
+    jobs, backend = _jobs(args), args.backend
+    print(
+        render_markdown(
+            figure7(jobs=jobs, backend=backend),
+            figure8(jobs=jobs, backend=backend),
+            table3(jobs=jobs, backend=backend),
+        )
+    )
     return 0
 
 
@@ -171,6 +191,30 @@ def build_parser():
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_backend(command):
+        command.add_argument(
+            "--backend",
+            default="interp",
+            choices=sorted(BACKENDS),
+            help="simulator backend: reference interpreter or threaded code",
+        )
+
+    def nonnegative_int(text):
+        value = int(text)
+        if value < 0:
+            raise argparse.ArgumentTypeError("must be >= 0, got %d" % value)
+        return value
+
+    def add_jobs(command):
+        command.add_argument(
+            "--jobs",
+            type=nonnegative_int,
+            default=None,
+            metavar="N",
+            help="fan evaluations out over up to N worker processes "
+            "(0 = all cores; capped at the core count)",
+        )
+
     sub.add_parser("list", help="list all workloads").set_defaults(func=cmd_list)
 
     run = sub.add_parser("run", help="compile+simulate one workload")
@@ -180,6 +224,7 @@ def build_parser():
     run.add_argument("--dump", action="store_true", help="print the VLIW schedule")
     run.add_argument("--asm", action="store_true", help="DSP-style assembly listing")
     run.add_argument("--stats", action="store_true", help="unit utilization")
+    add_backend(run)
     run.set_defaults(func=cmd_run)
 
     compare = sub.add_parser("compare", help="compare configurations")
@@ -188,6 +233,7 @@ def build_parser():
         "--strategies", default="CB,CB_DUP,IDEAL", help="comma-separated names"
     )
     compare.add_argument("--pipeline", action="store_true")
+    add_backend(compare)
     compare.set_defaults(func=cmd_compare)
 
     for name, func in (
@@ -195,13 +241,16 @@ def build_parser():
         ("figure8", cmd_figure8),
         ("table3", cmd_table3),
     ):
-        sub.add_parser(name, help="regenerate paper %s" % name).set_defaults(
-            func=func
-        )
+        artifact = sub.add_parser(name, help="regenerate paper %s" % name)
+        add_backend(artifact)
+        add_jobs(artifact)
+        artifact.set_defaults(func=func)
 
     report = sub.add_parser(
         "report", help="full reproduced evaluation as markdown"
     )
+    add_backend(report)
+    add_jobs(report)
     report.set_defaults(func=cmd_report)
 
     graph = sub.add_parser(

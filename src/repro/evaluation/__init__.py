@@ -5,6 +5,11 @@ from repro.evaluation.runner import (
     WorkloadEvaluation,
     evaluate_workload,
 )
+from repro.evaluation.parallel import (
+    default_jobs,
+    evaluate_workloads,
+    resolve_jobs,
+)
 from repro.evaluation.figures import figure7, figure8
 from repro.evaluation.tables import table3
 from repro.evaluation.sweeps import duplication_crossover, kernel_size_sweep, sweep
@@ -17,7 +22,9 @@ from repro.evaluation.reporting import (
 __all__ = [
     "Measurement",
     "WorkloadEvaluation",
+    "default_jobs",
     "evaluate_workload",
+    "evaluate_workloads",
     "figure7",
     "figure8",
     "duplication_crossover",
@@ -25,6 +32,7 @@ __all__ = [
     "render_figure7",
     "render_figure8",
     "render_table3",
+    "resolve_jobs",
     "sweep",
     "table3",
 ]

@@ -7,7 +7,7 @@ configurations for the 11 applications.
 """
 
 from repro.evaluation.paper_data import APPLICATION_ORDER, KERNEL_ORDER
-from repro.evaluation.runner import evaluate_workload
+from repro.evaluation.parallel import evaluate_workloads
 from repro.partition.strategies import Strategy
 from repro.workloads.registry import APPLICATIONS, KERNELS
 
@@ -38,19 +38,21 @@ class FigureSeries:
         return [self.gains[label][name] for name in self.order]
 
 
-def _collect(title, table, order, strategies, labels, verify=True, subset=None):
+def _collect(title, table, order, strategies, labels, verify=True, subset=None,
+             jobs=None, backend="interp"):
     names = order if subset is None else [n for n in order if n in subset]
     gains = {label: {} for label in labels}
-    evaluations = {}
+    evaluations = evaluate_workloads(
+        table, names, strategies, jobs=jobs, backend=backend, verify=verify
+    )
     for name in names:
-        evaluation = evaluate_workload(table[name], strategies, verify=verify)
-        evaluations[name] = evaluation
+        evaluation = evaluations[name]
         for strategy, label in zip(strategies, labels):
             gains[label][name] = evaluation.gain_percent(strategy)
     return FigureSeries(title, names, list(labels), gains, evaluations)
 
 
-def figure7(verify=True, subset=None):
+def figure7(verify=True, subset=None, jobs=None, backend="interp"):
     """Figure 7: kernel performance gains (CB and Ideal)."""
     return _collect(
         "Figure 7: Performance Gain for DSP Kernels",
@@ -60,10 +62,12 @@ def figure7(verify=True, subset=None):
         ("CB", "Ideal"),
         verify=verify,
         subset=subset,
+        jobs=jobs,
+        backend=backend,
     )
 
 
-def figure8(verify=True, subset=None):
+def figure8(verify=True, subset=None, jobs=None, backend="interp"):
     """Figure 8: application gains (CB, Pr, Dup, Ideal)."""
     return _collect(
         "Figure 8: Performance Gain for DSP Applications",
@@ -73,4 +77,6 @@ def figure8(verify=True, subset=None):
         ("CB", "Pr", "Dup", "Ideal"),
         verify=verify,
         subset=subset,
+        jobs=jobs,
+        backend=backend,
     )

@@ -1,0 +1,129 @@
+"""Parallel evaluation: fan (workload, strategy) pairs across processes.
+
+The figure/table regenerations are embarrassingly parallel at the
+(workload, configuration) granularity — every pair is an independent
+compile + simulate + verify pipeline.  This module fans those pairs out
+over a :class:`concurrent.futures.ProcessPoolExecutor`:
+
+* tasks are shipped as (workload name, strategy name, backend) triples —
+  workloads rebuild deterministically from the registry, so nothing
+  heavyweight crosses the process boundary going in, and only a plain
+  :class:`~repro.evaluation.runner.Measurement` comes back;
+* every worker process keeps a content-keyed compiled-program cache
+  (:func:`repro.evaluation.runner.module_fingerprint`-keyed), so the
+  baseline compile a profile-driven configuration needs is shared with
+  the baseline measurement whenever both land in the same worker;
+* ``jobs=None`` (or ``<= 1``) runs the exact same code path serially in
+  the calling process — results are bit-identical either way, because
+  every pipeline stage is deterministic.
+"""
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.evaluation.runner import (
+    WorkloadEvaluation,
+    _run_once,
+    evaluate_workload,
+)
+from repro.partition.strategies import Strategy
+from repro.sim.tracing import collect_block_counts
+
+#: per-process content-keyed compiled-program cache (worker side)
+_PROCESS_CACHE = {}
+
+
+def default_jobs():
+    """Worker count when the caller asks for "all cores"."""
+    return os.cpu_count() or 1
+
+
+def resolve_jobs(jobs):
+    """Resolve a user-facing ``--jobs`` value to a worker count.
+
+    ``None`` stays serial, ``0`` means "all cores", and explicit counts
+    are capped at the machine's core count — the pipelines are CPU-bound,
+    so workers beyond that only add process overhead.  Library callers
+    that need an exact pool size (e.g. tests) pass it straight to
+    :func:`evaluate_workloads` instead.
+    """
+    if jobs is None:
+        return None
+    if jobs < 0:
+        raise ValueError("jobs must be >= 0, got %d" % jobs)
+    if jobs == 0:
+        return default_jobs()
+    return min(jobs, default_jobs())
+
+
+def _profile_counts(workload, backend, cache):
+    """Block counts of the single-bank baseline (deterministic, so a
+    worker recomputing them gets the same answer the serial path does)."""
+    _measurement, compiled, result = _run_once(
+        workload, Strategy.SINGLE_BANK, verify=False, backend=backend,
+        cache=cache,
+    )
+    return collect_block_counts(compiled.program, result)
+
+
+def _measure_pair(name, strategy_name, backend, verify):
+    """Worker entry point: one (workload, strategy) measurement."""
+    from repro.workloads.registry import get_workload
+
+    workload = get_workload(name)
+    strategy = Strategy[strategy_name]
+    counts = None
+    if strategy.needs_profile:
+        counts = _profile_counts(workload, backend, _PROCESS_CACHE)
+    measurement, _compiled, _result = _run_once(
+        workload, strategy, profile_counts=counts, verify=verify,
+        backend=backend, cache=_PROCESS_CACHE,
+    )
+    return name, measurement
+
+
+def evaluate_workloads(table, names, strategies, jobs=None, backend="interp",
+                       verify=True):
+    """Evaluate *names* (keys of *table*) under *strategies* in parallel.
+
+    Returns ``{name: WorkloadEvaluation}`` in *names* order.  With
+    ``jobs`` in (None, 0, 1) the evaluations run serially in-process
+    (sharing one compiled-program cache); with ``jobs > 1`` the
+    (workload, strategy) pairs fan out across a process pool.
+    """
+    if jobs is not None and jobs < 0:
+        raise ValueError("jobs must be >= 0, got %d" % jobs)
+    if not jobs or jobs == 1:
+        cache = {}
+        return {
+            name: evaluate_workload(
+                table[name], strategies, verify=verify, backend=backend,
+                cache=cache,
+            )
+            for name in names
+        }
+
+    wanted = [s for s in strategies if s is not Strategy.SINGLE_BANK]
+    tasks = []
+    for name in names:
+        tasks.append((name, Strategy.SINGLE_BANK.name, backend, verify))
+        for strategy in wanted:
+            tasks.append((name, strategy.name, backend, verify))
+
+    collected = {name: {} for name in names}
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        for name, measurement in pool.map(
+            _measure_pair,
+            [t[0] for t in tasks],
+            [t[1] for t in tasks],
+            [t[2] for t in tasks],
+            [t[3] for t in tasks],
+        ):
+            collected[name][measurement.strategy] = measurement
+
+    return {
+        name: WorkloadEvaluation(
+            table[name].name, table[name].category, collected[name]
+        )
+        for name in names
+    }

@@ -10,7 +10,7 @@ allocation pass as edge weights.
 from repro.compiler import compile_module
 from repro.cost.model import CostModel
 from repro.partition.strategies import Strategy
-from repro.sim.simulator import Simulator
+from repro.sim.fastsim import make_simulator
 from repro.sim.tracing import collect_block_counts
 
 
@@ -53,27 +53,88 @@ class WorkloadEvaluation:
     def gain_percent(self, strategy):
         """Percent cycle-count improvement over the single-bank baseline,
         the y-axis of the paper's Figures 7 and 8."""
-        return 100.0 * (self.baseline.cycles / self.cycles(strategy) - 1.0)
+        return 100.0 * (self.performance_gain(strategy) - 1.0)
 
     def performance_gain(self, strategy):
-        """PG ratio as used in paper Table 3 (1.00 = unchanged)."""
-        return self.baseline.cycles / self.cycles(strategy)
+        """PG ratio as used in paper Table 3 (1.00 = unchanged).
+
+        Degenerate zero-cycle measurements (an empty workload) are
+        defined rather than faulting: matching zeros count as unchanged,
+        a zero-cycle configuration against a nonzero baseline is an
+        unbounded gain.
+        """
+        return _ratio(self.baseline.cycles, self.cycles(strategy))
 
     def cost_increase(self, strategy):
-        """CI ratio as used in paper Table 3 (1.00 = unchanged)."""
-        return (
-            self.measurements[strategy].cost.total / self.baseline.cost.total
-        )
+        """CI ratio as used in paper Table 3 (1.00 = unchanged); defined
+        even for zero-cost measurements (see :meth:`performance_gain`)."""
+        return _ratio(self.measurements[strategy].cost.total, self.baseline.cost.total)
 
     def pcr(self, strategy):
-        return self.performance_gain(strategy) / self.cost_increase(strategy)
+        ci = self.cost_increase(strategy)
+        if ci == 0.0:
+            return float("inf")
+        return self.performance_gain(strategy) / ci
 
 
-def _run_once(workload, strategy, profile_counts=None, verify=True):
-    compiled = compile_module(
-        workload.build(), strategy=strategy, profile_counts=profile_counts
+def _ratio(numerator, denominator):
+    """``numerator / denominator`` with the degenerate cases pinned:
+    0/0 is 1.0 (nothing changed), n/0 is +inf (unbounded improvement)."""
+    if denominator == 0:
+        return 1.0 if numerator == 0 else float("inf")
+    return numerator / denominator
+
+
+def module_fingerprint(module):
+    """Content hash of a freshly built module: the printed IR (blocks,
+    operations, symbols) plus global sizes and initializers — everything
+    that determines the compiled program for a given strategy."""
+    import hashlib
+
+    from repro.ir.printer import format_module
+
+    digest = hashlib.sha256(format_module(module).encode())
+    for symbol in module.globals:
+        digest.update(
+            repr(
+                (symbol.name, symbol.size, symbol.data_type, symbol.initializer)
+            ).encode()
+        )
+    return digest.hexdigest()
+
+
+def _compile_cached(workload, strategy, profile_counts, cache):
+    """Compile *workload*, consulting the content-keyed *cache*.
+
+    The key is (module content hash, strategy, frozen profile counts), so
+    any two identical builds share one compile.  Compiled programs are
+    immutable under simulation (each simulator run owns fresh memory), so
+    cache hits skip the whole compile pipeline.
+    """
+    if cache is None:
+        return compile_module(
+            workload.build(), strategy=strategy, profile_counts=profile_counts
+        )
+    module = workload.build()
+    profile_key = (
+        None
+        if profile_counts is None
+        else tuple(sorted(profile_counts.items()))
     )
-    simulator = Simulator(compiled.program)
+    key = (module_fingerprint(module), strategy, profile_key)
+    compiled = cache.get(key)
+    if compiled is None:
+        compiled = compile_module(
+            module, strategy=strategy, profile_counts=profile_counts
+        )
+        cache[key] = compiled
+    return compiled
+
+
+def _run_once(workload, strategy, profile_counts=None, verify=True,
+              backend="interp", cache=None):
+    compiled = _compile_cached(workload, strategy, profile_counts, cache)
+    simulator = make_simulator(compiled.program, backend=backend)
     result = simulator.run()
     if verify:
         workload.verify(simulator)
@@ -86,11 +147,18 @@ def _run_once(workload, strategy, profile_counts=None, verify=True):
     )
 
 
-def evaluate_workload(workload, strategies, verify=True):
-    """Measure *workload* under *strategies* (baseline always included)."""
+def evaluate_workload(workload, strategies, verify=True, backend="interp",
+                      cache=None):
+    """Measure *workload* under *strategies* (baseline always included).
+
+    ``backend`` selects the simulator backend (``interp`` or ``fast``,
+    see :mod:`repro.sim.fastsim`); ``cache`` is an optional dict used as a
+    content-keyed compiled-program cache shared across evaluations.
+    """
     measurements = {}
     baseline, base_compiled, base_result = _run_once(
-        workload, Strategy.SINGLE_BANK, verify=verify
+        workload, Strategy.SINGLE_BANK, verify=verify, backend=backend,
+        cache=cache,
     )
     measurements[Strategy.SINGLE_BANK] = baseline
     profile = None
@@ -103,7 +171,8 @@ def evaluate_workload(workload, strategies, verify=True):
                 profile = collect_block_counts(base_compiled.program, base_result)
             counts = profile
         measurement, _compiled, _result = _run_once(
-            workload, strategy, profile_counts=counts, verify=verify
+            workload, strategy, profile_counts=counts, verify=verify,
+            backend=backend, cache=cache,
         )
         measurements[strategy] = measurement
     return WorkloadEvaluation(workload.name, workload.category, measurements)

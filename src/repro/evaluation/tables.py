@@ -2,7 +2,7 @@
 
 from repro.cost.model import TradeoffRow
 from repro.evaluation.paper_data import APPLICATION_ORDER
-from repro.evaluation.runner import evaluate_workload
+from repro.evaluation.parallel import evaluate_workloads
 from repro.partition.strategies import Strategy
 from repro.workloads.registry import APPLICATIONS
 
@@ -38,19 +38,25 @@ class Table3:
         return pg, ci, pcr
 
 
-def table3(verify=True, subset=None):
-    """Measure every application under the four Table 3 configurations."""
+def table3(verify=True, subset=None, jobs=None, backend="interp"):
+    """Measure every application under the four Table 3 configurations.
+
+    ``jobs`` fans the (application, configuration) pipelines out across
+    worker processes; ``backend`` selects the simulator backend.
+    """
     strategies = [strategy for _label, strategy in TABLE3_CONFIGS]
     rows = {}
-    evaluations = {}
     names = (
         APPLICATION_ORDER
         if subset is None
         else [n for n in APPLICATION_ORDER if n in subset]
     )
+    evaluations = evaluate_workloads(
+        APPLICATIONS, names, strategies, jobs=jobs, backend=backend,
+        verify=verify,
+    )
     for name in names:
-        evaluation = evaluate_workload(APPLICATIONS[name], strategies, verify=verify)
-        evaluations[name] = evaluation
+        evaluation = evaluations[name]
         cells = {}
         for label, strategy in TABLE3_CONFIGS:
             cells[label] = TradeoffRow(

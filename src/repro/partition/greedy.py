@@ -26,6 +26,8 @@ class PartitionResult:
         self.set_y = list(set_y)
         #: Cost after initialization and after every accepted move.
         self.cost_trace = list(cost_trace)
+        # O(1) membership for bank_of (symbol names are unique per scope).
+        self._y_names = frozenset(s.name for s in self.set_y)
 
     @property
     def final_cost(self):
@@ -38,7 +40,7 @@ class PartitionResult:
     def bank_of(self, symbol):
         from repro.ir.symbols import MemoryBank
 
-        if symbol in self.set_y:
+        if symbol.name in self._y_names:
             return MemoryBank.Y
         return MemoryBank.X
 
@@ -56,6 +58,11 @@ class GreedyPartitioner:
     Time complexity is O(v^2) in the number of interference-graph nodes
     (paper Section 3.1): each accepted move scans all candidates, and at
     most v moves are accepted because a node never moves back.
+
+    Determinism: when several moves give the same (best) cost decrease,
+    the node with the lexicographically smallest name moves — so the
+    partition depends only on the graph's content, never on node
+    insertion order, and repeated runs are identical.
     """
 
     def __init__(self, graph):
@@ -82,9 +89,15 @@ class GreedyPartitioner:
             best_delta = 0
             for node in set_x:
                 # Moving `node` to Y removes its X-internal edges from the
-                # cost and adds its Y-internal edges.
+                # cost and adds its Y-internal edges.  Ties break on the
+                # lexicographically smallest node name — a stable,
+                # documented order independent of how the graph was built.
                 delta = weight_to_y[node.name] - weight_to_x[node.name]
-                if delta < best_delta:
+                if delta < best_delta or (
+                    delta == best_delta
+                    and best_node is not None
+                    and node.name < best_node.name
+                ):
                     best_delta = delta
                     best_node = node
             if best_node is None:

@@ -9,17 +9,21 @@ validating the store-lock/store-unlock protocol on duplicated data.
 """
 
 from repro.sim.simulator import SimulationError, SimulationResult, Simulator
+from repro.sim.fastsim import BACKENDS, FastSimulator, make_simulator
 from repro.sim.tracing import collect_block_counts, profile_module
 from repro.sim.interrupts import InterruptInjector
 from repro.sim.statistics import UtilizationReport, utilization
 
 __all__ = [
+    "BACKENDS",
+    "FastSimulator",
     "InterruptInjector",
     "SimulationError",
     "SimulationResult",
     "Simulator",
     "UtilizationReport",
     "collect_block_counts",
+    "make_simulator",
     "profile_module",
     "utilization",
 ]

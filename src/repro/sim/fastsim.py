@@ -1,0 +1,619 @@
+"""Threaded-code fast backend for the instruction-set simulator.
+
+The reference :class:`~repro.sim.simulator.Simulator` re-dispatches on
+micro-operation kind strings and calls per-operand reader closures every
+cycle.  This backend instead compiles each :class:`LongInstruction` into a
+single specialized Python closure when ``run()`` first touches the
+program: operand reads, effective-address computation, bounds checks,
+evaluator arithmetic, and commit logic are generated as straight-line
+source (one function per instruction, bound constants become closure
+cells), and the whole program is ``exec``-compiled in a single batch.
+The run loop then threads through those closures — one call per cycle,
+no dispatch, no tuple unpacking.
+
+Semantics are bit-identical to the reference interpreter by construction
+and verified by ``tests/sim/test_fastsim_equivalence.py``:
+
+* all operand and memory reads happen before any register/memory write of
+  the cycle (read-before-write);
+* control operations execute after all reads but before the writes, so
+  CALL/RET stack adjustments never disturb same-cycle addressing;
+* the hardware-loop back-edge, the store-lock window (instruction-wide
+  net transition), interrupt delivery, ``pc_counts``, cycle and operation
+  accounting all match the reference backend exactly.
+"""
+
+import math
+
+from repro.ir.operations import OpCode
+from repro.ir.types import RegClass
+from repro.ir.values import Immediate
+from repro.sim.simulator import (
+    SimulationError,
+    SimulationResult,
+    Simulator,
+    _BANK_X,
+    _BANK_Y,
+)
+
+#: register-file local names used inside generated code
+_RFILE = {RegClass.ADDR: "RA", RegClass.INT: "RI", RegClass.FLOAT: "RF"}
+
+_MEM = {_BANK_X: "MX", _BANK_Y: "MY"}
+
+#: parameter list shared by every generated step factory
+_FIXED_PARAMS = "SIM, RA, RI, RF, MX, MY, SP, LS"
+
+#: opcodes whose evaluators are inlined as expressions (the hot set);
+#: anything absent falls back to calling the bound ``OpInfo.evaluate``.
+_BINARY_EXPR = {
+    OpCode.ADD: "({a} + {b})",
+    OpCode.SUB: "({a} - {b})",
+    OpCode.MUL: "({a} * {b})",
+    OpCode.AND: "({a} & {b})",
+    OpCode.OR: "({a} | {b})",
+    OpCode.XOR: "({a} ^ {b})",
+    OpCode.SHL: "({a} << {b})",
+    OpCode.SHR: "({a} >> {b})",
+    OpCode.MIN: "min({a}, {b})",
+    OpCode.MAX: "max({a}, {b})",
+    OpCode.CMPEQ: "(1 if {a} == {b} else 0)",
+    OpCode.CMPNE: "(1 if {a} != {b} else 0)",
+    OpCode.CMPLT: "(1 if {a} < {b} else 0)",
+    OpCode.CMPLE: "(1 if {a} <= {b} else 0)",
+    OpCode.CMPGT: "(1 if {a} > {b} else 0)",
+    OpCode.CMPGE: "(1 if {a} >= {b} else 0)",
+    OpCode.FADD: "({a} + {b})",
+    OpCode.FSUB: "({a} - {b})",
+    OpCode.FMUL: "({a} * {b})",
+    OpCode.FDIV: "({a} / {b})",
+    OpCode.FMIN: "min({a}, {b})",
+    OpCode.FMAX: "max({a}, {b})",
+    OpCode.FCMPEQ: "(1 if {a} == {b} else 0)",
+    OpCode.FCMPNE: "(1 if {a} != {b} else 0)",
+    OpCode.FCMPLT: "(1 if {a} < {b} else 0)",
+    OpCode.FCMPLE: "(1 if {a} <= {b} else 0)",
+    OpCode.FCMPGT: "(1 if {a} > {b} else 0)",
+    OpCode.FCMPGE: "(1 if {a} >= {b} else 0)",
+    OpCode.AADD: "({a} + {b})",
+    OpCode.ASUB: "({a} - {b})",
+    OpCode.AMUL: "({a} * {b})",
+    OpCode.ACMPEQ: "(1 if {a} == {b} else 0)",
+    OpCode.ACMPNE: "(1 if {a} != {b} else 0)",
+    OpCode.ACMPLT: "(1 if {a} < {b} else 0)",
+    OpCode.ACMPLE: "(1 if {a} <= {b} else 0)",
+    OpCode.ACMPGT: "(1 if {a} > {b} else 0)",
+    OpCode.ACMPGE: "(1 if {a} >= {b} else 0)",
+}
+
+_UNARY_EXPR = {
+    OpCode.NEG: "(-{a})",
+    OpCode.FNEG: "(-{a})",
+    OpCode.ABS: "abs({a})",
+    OpCode.FABS: "abs({a})",
+    OpCode.NOT: "(~{a})",
+    OpCode.MOV: "{a}",
+    OpCode.CONST: "{a}",
+    OpCode.FMOV: "{a}",
+    OpCode.FCONST: "{a}",
+    OpCode.AMOV: "{a}",
+    OpCode.ACONST: "{a}",
+    OpCode.MOVIA: "{a}",
+    OpCode.MOVAI: "{a}",
+    OpCode.ITOF: "float({a})",
+    OpCode.FTOI: "int({a})",
+    OpCode.FSQRT: "({a} ** 0.5)",
+}
+
+
+class _CodeBuilder:
+    """Accumulates source lines and bound constants for one step closure.
+
+    One builder spans a whole superblock: ``flush()`` seals the current
+    instruction's read-before-write grouping (reads, then control, then
+    writes) into ``lines`` so the next instruction's reads come after this
+    one's writes.  Temp names may be reused across instructions (a temp
+    never carries a value past its own instruction); bound-constant names
+    are unique for the whole block.
+    """
+
+    def __init__(self):
+        self.lines = []
+        self.reads = []
+        self.control = []
+        self.writes = []
+        self.tail = []
+        self.params = []
+        self.args = []
+        self.counter = 0
+
+    def temp(self):
+        self.counter += 1
+        return "t%d" % self.counter
+
+    def const(self, value):
+        name = "k%d" % len(self.params)
+        self.params.append(name)
+        self.args.append(value)
+        return name
+
+    def flush(self):
+        self.lines += self.reads + self.control + self.writes
+        self.reads = []
+        self.control = []
+        self.writes = []
+        self.counter = 0
+
+    def body(self):
+        return self.lines + self.reads + self.control + self.writes + self.tail
+
+
+class FastSimulator(Simulator):
+    """Drop-in replacement for :class:`Simulator` using threaded code.
+
+    Shares the whole :class:`Simulator` state and helper surface
+    (``read_global``/``write_global``, call/return bookkeeping, interrupt
+    hooks) — only decoding and the run loop differ.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        count = len(self.program.instructions)
+        #: per-pc compiled step closure (hook mode; :meth:`_compile_steps`)
+        self._steps = None
+        #: per-leader compiled superblock closure (:meth:`_compile_blocks`)
+        self._blocks = None
+        #: per-leader cycle length of the superblock
+        self._block_lens = None
+        #: leader pc -> [member pcs] of its superblock
+        self._block_members = None
+        #: per-pc executed-operation count (for operation accounting)
+        self._op_widths = [0] * count
+        #: instruction indices that terminate at least one hardware loop
+        self._loop_end_pcs = frozenset(
+            end for _start, end in self.program.loops.values()
+        )
+
+    def _leaders(self):
+        """Superblock leader pcs: every possible control-transfer target
+        plus every pc that follows a control operation or a loop end."""
+        program = self.program
+        count = len(program.instructions)
+        leaders = {0}
+        leaders.update(program.labels.values())
+        leaders.update(program.function_entries.values())
+        for start, end in program.loops.values():
+            leaders.add(start)
+            leaders.add(end + 1)
+        for pc, instruction in enumerate(program.instructions):
+            if pc in self._loop_end_pcs:
+                leaders.add(pc + 1)
+                continue
+            for op in instruction.slots.values():
+                if op.info.kind.value == "control":
+                    leaders.add(pc + 1)
+                    break
+        return sorted(p for p in leaders if 0 <= p < count)
+
+    # ------------------------------------------------------------------
+    # Code generation
+    # ------------------------------------------------------------------
+    def _operand_expr(self, operand, cb):
+        if isinstance(operand, Immediate):
+            value = operand.value
+            if isinstance(value, int):
+                return "(%r)" % value
+            if isinstance(value, float) and math.isfinite(value):
+                return "(%r)" % value
+            return cb.const(value)
+        if operand.physical is None:
+            raise SimulationError(
+                "unallocated register %r reached the simulator" % operand
+            )
+        return "%s[%d]" % (_RFILE[operand.rclass], operand.physical)
+
+    def _index_expr(self, op, cb):
+        """Expression for the effective index: base plus optional offset."""
+        expr = self._operand_expr(op.index_operand(), cb)
+        offset = op.offset_operand()
+        if offset is not None:
+            expr = "(%s + %s)" % (expr, self._operand_expr(offset, cb))
+        return expr
+
+    def _address_expr(self, op, pc, cb):
+        """Emit index + bounds check reads; return the address expression."""
+        bank_index, base, frame_offset = self._resolve_symbol(op)
+        index = cb.temp()
+        cb.reads.append("%s = %s" % (index, self._index_expr(op, cb)))
+        if self.check_bounds:
+            symbol = op.symbol
+            cb.reads.append(
+                "if %s < 0 or %s >= %d: SIM._fault_oob(%s, %r, %d, %d)"
+                % (index, index, symbol.size, index, symbol.name, symbol.size, pc)
+            )
+        if base is not None:
+            address = "(%d + %s)" % (base, index)
+        else:
+            address = "(SP[%d] + %d + %s)" % (bank_index, frame_offset, index)
+        return _MEM[bank_index], address
+
+    def _fault_oob(self, index, name, size, pc):
+        raise SimulationError(
+            "index %d out of bounds for %s[%d] at pc=%d" % (index, name, size, pc)
+        )
+
+    def _fast_call(self, callee, frame, entry, return_pc):
+        """CALL with the return address baked in at compile time."""
+        sp = self.sp
+        sp[_BANK_X] -= 1
+        self.memory[_BANK_X][sp[_BANK_X]] = return_pc
+        sp[_BANK_X] -= frame.size_x
+        sp[_BANK_Y] -= frame.size_y
+        self._note_stack()
+        self.call_stack.append((callee, frame))
+        return entry
+
+    def _emit_fallthrough(self, pc, cb, halt=False):
+        """Fall-through tail: the hardware-loop back-edge (when this pc
+        ends a loop) and the next-pc return."""
+        next_pc = pc + 1
+        tail = cb.tail
+        if pc not in self._loop_end_pcs:
+            if halt:
+                tail.append("SIM.pc = %d" % next_pc)
+                tail.append("return None")
+            else:
+                tail.append("return %d" % next_pc)
+            return
+        if halt:
+            tail.append("np = %d" % next_pc)
+        tail.append("while LS and LS[-1][1] == %d:" % pc)
+        tail.append("    rec = LS[-1]")
+        tail.append("    c = rec[2] - 1")
+        tail.append("    rec[2] = c")
+        tail.append("    if c > 0:")
+        if halt:
+            tail.append("        np = rec[0]")
+            tail.append("        break")
+        else:
+            tail.append("        return rec[0]")
+        tail.append("    LS.pop()")
+        if halt:
+            tail.append("SIM.pc = np")
+            tail.append("return None")
+        else:
+            tail.append("return %d" % next_pc)
+
+    def _emit_control(self, op, pc, cb):
+        opcode = op.opcode
+        labels = self.program.labels
+        if opcode is OpCode.BR:
+            # a control transfer overrides the loop back-edge (see the
+            # reference interpreter), so no fall-through tail is emitted.
+            cb.tail.append("return %d" % labels[op.target.name])
+        elif opcode is OpCode.BRT or opcode is OpCode.BRF:
+            condition = cb.temp()
+            cb.reads.append(
+                "%s = %s" % (condition, self._operand_expr(op.sources[0], cb))
+            )
+            test = condition if opcode is OpCode.BRT else "not %s" % condition
+            cb.tail.append("if %s:" % test)
+            cb.tail.append("    return %d" % labels[op.target.name])
+            self._emit_fallthrough(pc, cb)
+        elif opcode is OpCode.LOOP_BEGIN:
+            count = cb.temp()
+            cb.reads.append(
+                "%s = %s" % (count, self._operand_expr(op.sources[0], cb))
+            )
+            start, end = self.program.loops[op.target.name]
+            cb.tail.append("if %s <= 0:" % count)
+            cb.tail.append("    return %d" % (end + 1))
+            cb.tail.append("LS.append([%d, %d, %s])" % (start, end, count))
+            self._emit_fallthrough(pc, cb)
+        elif opcode is OpCode.CALL:
+            frame = cb.const(self.program.frames[op.callee])
+            entry = self.program.function_entries[op.callee]
+            cb.control.append(
+                "np = SIM._fast_call(%r, %s, %d, %d)"
+                % (op.callee, frame, entry, pc + 1)
+            )
+            cb.tail.append("return np")
+        elif opcode is OpCode.RET:
+            cb.control.append("np = SIM._do_ret()")
+            cb.tail.append("return np")
+        elif opcode is OpCode.HALT:
+            cb.control.append("SIM.halted = True")
+            self._emit_fallthrough(pc, cb, halt=True)
+        else:
+            raise SimulationError("unexpected opcode %s" % opcode)
+
+    def _instruction_body(self, pc, cb):
+        """Emit one instruction's reads/control/writes into *cb*.
+
+        Returns ``(control_op, width)``; the caller decides the tail
+        (control transfer or fall-through) so instructions can be fused
+        into superblocks.
+        """
+        instruction = self.program.instructions[pc]
+        lock_transition = self._lock_transition(instruction)
+        control_op = None
+        width = 0
+
+        for op in instruction.slots.values():
+            opcode = op.opcode
+            info = op.info
+            if opcode is OpCode.NOP or opcode is OpCode.LOOP_END:
+                continue
+            width += 1
+            if opcode is OpCode.LOAD:
+                mem, address = self._address_expr(op, pc, cb)
+                value = cb.temp()
+                cb.reads.append("%s = %s[%s]" % (value, mem, address))
+                cb.writes.append(
+                    "%s[%d] = %s"
+                    % (_RFILE[op.dest.rclass], op.dest.physical, value)
+                )
+            elif opcode is OpCode.STORE:
+                mem, address = self._address_expr(op, pc, cb)
+                value = cb.temp()
+                slot = cb.temp()
+                cb.reads.append(
+                    "%s = %s" % (value, self._operand_expr(op.sources[0], cb))
+                )
+                cb.reads.append("%s = %s" % (slot, address))
+                cb.writes.append("%s[%s] = %s" % (mem, slot, value))
+            elif opcode is OpCode.FMAC:
+                value = cb.temp()
+                cb.reads.append(
+                    "%s = RF[%d] + %s * %s"
+                    % (
+                        value,
+                        op.dest.physical,
+                        self._operand_expr(op.sources[0], cb),
+                        self._operand_expr(op.sources[1], cb),
+                    )
+                )
+                cb.writes.append("RF[%d] = %s" % (op.dest.physical, value))
+            elif info.kind.value == "control":
+                control_op = op
+            else:
+                sources = [self._operand_expr(s, cb) for s in op.sources]
+                if len(sources) == 2 and opcode in _BINARY_EXPR:
+                    expr = _BINARY_EXPR[opcode].format(a=sources[0], b=sources[1])
+                elif len(sources) == 1 and opcode in _UNARY_EXPR:
+                    expr = _UNARY_EXPR[opcode].format(a=sources[0])
+                else:
+                    evaluate = cb.const(info.evaluate)
+                    expr = "%s(%s)" % (evaluate, ", ".join(sources))
+                value = cb.temp()
+                cb.reads.append("%s = %s" % (value, expr))
+                cb.writes.append(
+                    "%s[%d] = %s"
+                    % (_RFILE[op.dest.rclass], op.dest.physical, value)
+                )
+
+        if lock_transition is not None:
+            cb.writes.append("SIM.locked = %r" % lock_transition)
+        return control_op, width
+
+    def _exec_batch(self, pieces, bindings):
+        """One ``compile()``/``exec`` for a whole table of step factories.
+
+        Batch compilation amortizes the CPython parser/codegen overhead
+        that would otherwise dominate per-instruction compilation; the
+        returned dict maps each key in *bindings* to its bound closure.
+        """
+        namespace = {}
+        exec(compile("\n".join(pieces), "<fastsim>", "exec"), namespace)
+        registers = self.registers
+        fixed_args = (
+            self,
+            registers[RegClass.ADDR],
+            registers[RegClass.INT],
+            registers[RegClass.FLOAT],
+            self.memory[_BANK_X],
+            self.memory[_BANK_Y],
+            self.sp,
+            self.loop_stack,
+        )
+        return {
+            key: namespace["_make_%s" % key](*fixed_args, *args)
+            for key, args in bindings
+        }
+
+    @staticmethod
+    def _factory(key, cb):
+        params = _FIXED_PARAMS
+        if cb.params:
+            params = "%s, %s" % (_FIXED_PARAMS, ", ".join(cb.params))
+        return "def _make_%s(%s):\n    def step():\n%s\n    return step\n" % (
+            key,
+            params,
+            "\n".join("        " + line for line in cb.body()),
+        )
+
+    def _compile_steps(self):
+        """Per-instruction step table (used when an interrupt hook needs
+        control between every cycle)."""
+        pieces = []
+        bindings = []
+        widths = self._op_widths
+        for pc in range(len(self.program.instructions)):
+            cb = _CodeBuilder()
+            control_op, width = self._instruction_body(pc, cb)
+            if control_op is not None:
+                self._emit_control(control_op, pc, cb)
+            else:
+                self._emit_fallthrough(pc, cb)
+            pieces.append(self._factory(pc, cb))
+            bindings.append((pc, cb.args))
+            widths[pc] = width
+        closures = self._exec_batch(pieces, bindings)
+        self._steps = [closures[pc] for pc in range(len(closures))]
+
+    def _compile_blocks(self):
+        """Superblock table: maximal straight-line instruction runs fused
+        into single closures (used on the hook-free fast path).
+
+        Each block executes atomically from its leader; per-pc execution
+        counts for the interior follow from the leader's count, so the
+        dispatch loop does one closure call, one count increment, and one
+        cycle check per *block* instead of per cycle.
+        """
+        count = len(self.program.instructions)
+        leaders = self._leaders()
+        blocks = [None] * count
+        lens = [0] * count
+        members = {}
+        pieces = []
+        bindings = []
+        widths = self._op_widths
+        boundaries = leaders[1:] + [count]
+        for leader, bound in zip(leaders, boundaries):
+            cb = _CodeBuilder()
+            control_op = None
+            for pc in range(leader, bound):
+                if pc > leader:
+                    cb.flush()
+                control_op, width = self._instruction_body(pc, cb)
+                widths[pc] = width
+            last = bound - 1
+            if control_op is not None:
+                self._emit_control(control_op, last, cb)
+            else:
+                self._emit_fallthrough(last, cb)
+            pieces.append(self._factory(leader, cb))
+            bindings.append((leader, cb.args))
+            lens[leader] = bound - leader
+            members[leader] = list(range(leader, bound))
+        closures = self._exec_batch(pieces, bindings)
+        for leader in leaders:
+            blocks[leader] = closures[leader]
+        self._blocks = blocks
+        self._block_lens = lens
+        self._block_members = members
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self):
+        """Execute until HALT; returns a :class:`SimulationResult`."""
+        fused = self.interrupt_hook is None
+        if fused and self._blocks is None:
+            self._compile_blocks()
+        elif not fused and self._steps is None:
+            self._compile_steps()
+        self._enter_main()
+        count = len(self.program.instructions)
+        pc_counts = self.pc_counts
+        hook = self.interrupt_hook
+        max_cycles = self.max_cycles
+        cycle = 0
+        pc = self.pc
+        try:
+            if fused:
+                # Tight path: one closure call per superblock.  ``self.pc``
+                # and ``self.cycle`` are only observable through hooks and
+                # faults, so both live in locals and settle on exit.  The
+                # max_cycles check runs per block, so the error can fire up
+                # to one block early relative to the reference interpreter
+                # (error path only; completed runs are cycle-exact).
+                blocks = self._blocks
+                lens = self._block_lens
+                while True:
+                    if pc < 0 or pc >= count:
+                        raise SimulationError("pc %d out of range" % pc)
+                    step = blocks[pc]
+                    if step is None:
+                        raise SimulationError("pc %d out of range" % pc)
+                    cycle += lens[pc]
+                    if cycle > max_cycles:
+                        raise SimulationError(
+                            "exceeded max_cycles=%d" % max_cycles
+                        )
+                    pc_counts[pc] += 1
+                    next_pc = step()
+                    if next_pc is None:
+                        break
+                    pc = next_pc
+            else:
+                steps = self._steps
+                while True:
+                    if pc < 0 or pc >= count:
+                        raise SimulationError("pc %d out of range" % pc)
+                    pc_counts[pc] += 1
+                    cycle += 1
+                    self.cycle = cycle
+                    if cycle > max_cycles:
+                        raise SimulationError(
+                            "exceeded max_cycles=%d" % max_cycles
+                        )
+                    self.pc = pc
+                    next_pc = steps[pc]()
+                    if next_pc is None:
+                        break
+                    pc = next_pc
+                    if not self.locked:
+                        self.pc = pc
+                        hook(self, cycle)
+                        pc = self.pc
+        except SimulationError:
+            self.pc = pc
+            self.cycle = cycle
+            self.locked = False
+            self._settle_counts(fused)
+            raise
+        self.cycle = cycle
+        self.locked = False
+        self._settle_counts(fused)
+        return SimulationResult(
+            self.cycle,
+            self.op_count,
+            pc_counts,
+            self.mem_top[_BANK_X] - self.sp_min[_BANK_X],
+            self.mem_top[_BANK_Y] - self.sp_min[_BANK_Y],
+        )
+
+    def _settle_counts(self, fused):
+        """Settle per-pc execution counts and the operation total.
+
+        In fused mode only block leaders were counted during the run; the
+        interior of a straight-line block executes exactly as often as its
+        leader, so the per-pc counts follow by propagation.  The per-pc
+        operation width is fixed, so the running operation total the
+        reference interpreter maintains per cycle reduces to one dot
+        product at the end of the run."""
+        pc_counts = self.pc_counts
+        if fused:
+            for leader, members in self._block_members.items():
+                executed = pc_counts[leader]
+                if executed:
+                    for pc in members[1:]:
+                        pc_counts[pc] = executed
+        widths = self._op_widths
+        self.op_count = sum(
+            executed * widths[index]
+            for index, executed in enumerate(pc_counts)
+            if executed
+        )
+
+
+#: backend name -> simulator class
+BACKENDS = {"interp": Simulator, "fast": FastSimulator}
+
+
+def make_simulator(program, backend="interp", **kwargs):
+    """Instantiate the simulator backend named *backend*.
+
+    ``interp`` is the reference per-cycle interpreter; ``fast`` is the
+    threaded-code backend.  Both honour the same constructor keywords and
+    produce identical :class:`SimulationResult` and memory state.
+    """
+    try:
+        cls = BACKENDS[backend]
+    except KeyError:
+        raise ValueError(
+            "unknown simulator backend %r (choose from: %s)"
+            % (backend, ", ".join(sorted(BACKENDS)))
+        )
+    return cls(program, **kwargs)

@@ -204,12 +204,36 @@ class Simulator:
         _b, offset = frame.offset_of(symbol.name)
         return bank_index, None, offset
 
+    def _lock_transition(self, instruction):
+        """Net store-lock state change of one long instruction, or None.
+
+        Computed at decode time over the whole instruction so the result
+        cannot depend on slot iteration order: a lock and its unlock
+        (shadow) landing in the same instruction cancel out, a lone lock
+        opens the window, a lone unlock closes it.
+        """
+        locks = unlocks = 0
+        for op in instruction.slots.values():
+            if op.opcode is OpCode.STORE and op.locked:
+                if op.shadow:
+                    unlocks += 1
+                else:
+                    locks += 1
+        if locks and unlocks:
+            return None
+        if locks:
+            return True
+        if unlocks:
+            return False
+        return None
+
     def _decode(self, instruction):
         # Control operations are decoded last so that CALL/RET stack-pointer
         # updates never disturb the address computations of memory
         # operations packed into the same instruction.
         micro = []
         control = []
+        lock_transition = self._lock_transition(instruction)
         for unit, op in instruction.slots.items():
             opcode = op.opcode
             info = op.info
@@ -241,8 +265,13 @@ class Simulator:
                         offset,
                         index_reader,
                         op,
+                        lock_transition if op.locked else None,
                     )
                 )
+                if op.locked:
+                    # only the first locked store carries the (instruction-
+                    # wide) transition; applying it once is enough.
+                    lock_transition = None
             elif opcode is OpCode.FMAC:
                 rfile = self.registers[RegClass.FLOAT]
                 micro.append(
@@ -331,6 +360,16 @@ class Simulator:
 
     def run(self):
         """Execute until HALT; returns a :class:`SimulationResult`."""
+        try:
+            return self._run()
+        except SimulationError:
+            # A machine fault aborts any open store-lock window: the
+            # machine is dead, so the window must not linger into
+            # post-mortem inspection or a subsequent interrupt probe.
+            self.locked = False
+            raise
+
+    def _run(self):
         self._enter_main()
         instructions = self.program.instructions
         decoded = self._decoded
@@ -353,6 +392,7 @@ class Simulator:
             if self.cycle > self.max_cycles:
                 raise SimulationError("exceeded max_cycles=%d" % self.max_cycles)
             next_pc = pc + 1
+            transferred = False
             reg_writes = []
             mem_writes = []
             self.op_count += len(micro)
@@ -381,39 +421,57 @@ class Simulator:
                         (rfile, rindex, self.memory[bank_index][address])
                     )
                 elif kind == "st":
-                    (_k, value_reader, bank_index, base, offset, index_reader, op) = entry
+                    (
+                        _k,
+                        value_reader,
+                        bank_index,
+                        base,
+                        offset,
+                        index_reader,
+                        op,
+                        lock_transition,
+                    ) = entry
                     address = self._address(
                         bank_index, base, offset, index_reader(None), op
                     )
                     mem_writes.append(
                         (self.memory[bank_index], address, value_reader(None))
                     )
-                    if op.locked:
-                        # store-lock opens the window; store-unlock
-                        # (the shadow copy) closes it.
-                        self.locked = not op.shadow
+                    if lock_transition is not None:
+                        # store-lock opens the window; store-unlock (the
+                        # shadow copy) closes it.  The transition is the
+                        # instruction-wide net effect, so a lock/unlock
+                        # pair sharing this instruction never leaves the
+                        # window open regardless of slot order.
+                        self.locked = lock_transition
                 else:  # control
                     op = entry[1]
                     opcode = op.opcode
                     if opcode is OpCode.BR:
                         next_pc = labels[op.target.name]
+                        transferred = True
                     elif opcode is OpCode.BRT:
                         if self._read_control_source(op):
                             next_pc = labels[op.target.name]
+                            transferred = True
                     elif opcode is OpCode.BRF:
                         if not self._read_control_source(op):
                             next_pc = labels[op.target.name]
+                            transferred = True
                     elif opcode is OpCode.LOOP_BEGIN:
                         count = self._read_control_source(op)
                         start, end = loops[op.target.name]
                         if count <= 0:
                             next_pc = end + 1
+                            transferred = True
                         else:
                             self.loop_stack.append([start, end, count])
                     elif opcode is OpCode.CALL:
                         next_pc = self._do_call(op)
+                        transferred = True
                     elif opcode is OpCode.RET:
                         next_pc = self._do_ret()
+                        transferred = True
                     elif opcode is OpCode.HALT:
                         self.halted = True
                     else:
@@ -424,20 +482,28 @@ class Simulator:
             for memory, address, value in mem_writes:
                 memory[address] = value
 
-            # Zero-overhead hardware-loop back-edge.
-            while self.loop_stack and self.loop_stack[-1][1] == pc:
-                record = self.loop_stack[-1]
-                record[2] -= 1
-                if record[2] > 0:
-                    next_pc = record[0]
-                    break
-                self.loop_stack.pop()
+            # Zero-overhead hardware-loop back-edge.  A control transfer
+            # (taken branch, CALL, RET, zero-trip loop skip) in this same
+            # instruction overrides the loop hardware's end-of-body
+            # detection for the cycle: the counter is neither decremented
+            # nor the back-edge taken.  (Real DSPs forbid a CALL as the
+            # final loop instruction for exactly this reason.)
+            if not transferred:
+                while self.loop_stack and self.loop_stack[-1][1] == pc:
+                    record = self.loop_stack[-1]
+                    record[2] -= 1
+                    if record[2] > 0:
+                        next_pc = record[0]
+                        break
+                    self.loop_stack.pop()
 
             self.pc = next_pc
 
             if self.interrupt_hook is not None and not self.locked and not self.halted:
                 self.interrupt_hook(self, self.cycle)
 
+        # HALT closes any open lock window: nothing can unlock it anymore.
+        self.locked = False
         return SimulationResult(
             self.cycle,
             self.op_count,

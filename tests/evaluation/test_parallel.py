@@ -1,0 +1,53 @@
+"""The process-pool evaluation path must match the serial path exactly."""
+
+import pytest
+
+from repro.evaluation.parallel import (
+    default_jobs,
+    evaluate_workloads,
+    resolve_jobs,
+)
+from repro.partition.strategies import Strategy
+from repro.workloads.registry import KERNELS
+
+STRATEGIES = (Strategy.CB, Strategy.CB_PROFILE, Strategy.IDEAL)
+
+
+def test_resolve_jobs():
+    assert resolve_jobs(None) is None
+    assert resolve_jobs(0) == default_jobs()
+    assert resolve_jobs(1) == 1
+    # Explicit requests are capped at the core count: extra CPU-bound
+    # workers only add process overhead.
+    assert resolve_jobs(10_000) == default_jobs()
+    with pytest.raises(ValueError):
+        resolve_jobs(-1)
+
+
+def test_negative_jobs_rejected():
+    with pytest.raises(ValueError):
+        evaluate_workloads(KERNELS, ["fir_32_1"], [Strategy.CB], jobs=-2)
+
+
+def test_parallel_matches_serial_bit_for_bit():
+    """Workers rebuild workloads from the registry and recompute profile
+    counts independently; every pipeline stage is deterministic, so the
+    fanned-out measurements must equal the serial ones — including the
+    profile-driven configuration and the fast backend."""
+    names = ["fir_32_1", "mult_4_4"]
+    serial = evaluate_workloads(KERNELS, names, STRATEGIES)
+    parallel = evaluate_workloads(
+        KERNELS, names, STRATEGIES, jobs=2, backend="fast"
+    )
+    for name in names:
+        for strategy in (Strategy.SINGLE_BANK,) + STRATEGIES:
+            assert serial[name].cycles(strategy) == parallel[name].cycles(
+                strategy
+            ), (name, strategy)
+            assert (
+                serial[name].measurements[strategy].cost.total
+                == parallel[name].measurements[strategy].cost.total
+            )
+            assert serial[name].gain_percent(strategy) == parallel[
+                name
+            ].gain_percent(strategy)

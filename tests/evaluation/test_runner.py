@@ -1,8 +1,16 @@
 """Tests for the evaluation runner and derived metrics."""
 
+from types import SimpleNamespace
+
 import pytest
 
-from repro.evaluation.runner import evaluate_workload
+from repro.evaluation.runner import (
+    Measurement,
+    WorkloadEvaluation,
+    evaluate_workload,
+    module_fingerprint,
+)
+from repro.frontend import ProgramBuilder
 from repro.partition.strategies import Strategy
 from repro.workloads.registry import APPLICATIONS, KERNELS
 
@@ -54,3 +62,66 @@ def test_verification_failure_propagates():
     broken = Broken(32, 1)
     with pytest.raises(AssertionError):
         evaluate_workload(broken, [Strategy.CB])
+
+
+def _degenerate_evaluation(base_cycles, base_cost, cycles, cost):
+    def measurement(strategy, cycle_count, total):
+        return Measurement(
+            strategy, cycle_count, SimpleNamespace(total=total), 0, []
+        )
+
+    return WorkloadEvaluation(
+        "degenerate",
+        "kernel",
+        {
+            Strategy.SINGLE_BANK: measurement(
+                Strategy.SINGLE_BANK, base_cycles, base_cost
+            ),
+            Strategy.CB: measurement(Strategy.CB, cycles, cost),
+        },
+    )
+
+
+def test_zero_cycle_zero_cost_measurements_do_not_fault():
+    evaluation = _degenerate_evaluation(0, 0, 0, 0)
+    assert evaluation.performance_gain(Strategy.CB) == 1.0
+    assert evaluation.gain_percent(Strategy.CB) == 0.0
+    assert evaluation.cost_increase(Strategy.CB) == 1.0
+    assert evaluation.pcr(Strategy.CB) == 1.0
+
+
+def test_zero_cycle_configuration_is_unbounded_gain():
+    evaluation = _degenerate_evaluation(100, 10, 0, 10)
+    assert evaluation.performance_gain(Strategy.CB) == float("inf")
+
+
+def test_zero_cost_configuration_gives_infinite_pcr():
+    evaluation = _degenerate_evaluation(100, 10, 50, 0)
+    assert evaluation.cost_increase(Strategy.CB) == 0.0
+    assert evaluation.pcr(Strategy.CB) == float("inf")
+
+
+def test_zero_cost_baseline_is_unbounded_cost_increase():
+    evaluation = _degenerate_evaluation(100, 0, 50, 10)
+    assert evaluation.cost_increase(Strategy.CB) == float("inf")
+    assert evaluation.pcr(Strategy.CB) == 0.0
+
+
+def _fingerprint_module(init_value):
+    pb = ProgramBuilder("t")
+    a = pb.global_array("A", 4, float, init=[init_value] * 4)
+    out = pb.global_scalar("out", float)
+    with pb.function("main") as f:
+        f.assign(out[0], a[0])
+    return pb.build()
+
+
+def test_module_fingerprint_is_content_keyed():
+    assert module_fingerprint(_fingerprint_module(1.0)) == module_fingerprint(
+        _fingerprint_module(1.0)
+    )
+    # Initializers are not part of the printed IR, but they change the
+    # simulated memory image — the fingerprint must see them.
+    assert module_fingerprint(_fingerprint_module(1.0)) != module_fingerprint(
+        _fingerprint_module(2.0)
+    )

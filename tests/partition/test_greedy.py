@@ -99,6 +99,34 @@ def test_cost_never_increases_along_trace():
     assert result.final_cost >= 0
 
 
+def test_tie_break_prefers_lexicographically_smallest_name():
+    """Two disjoint unit edges tie on every move; the documented
+    tie-break moves the smallest name first."""
+    g, _syms = _graph("DCBA", [("A", "B", 1), ("C", "D", 1)])
+    result = GreedyPartitioner(g).partition()
+    assert [s.name for s in result.set_y] == ["A", "C"]
+    assert result.cost_trace == [2, 1, 0]
+
+
+def test_partition_independent_of_node_insertion_order():
+    edges = [("A", "B", 1), ("C", "D", 1)]
+    forward = GreedyPartitioner(_graph("ABCD", edges)[0]).partition()
+    backward = GreedyPartitioner(
+        _graph("DCBA", list(reversed(edges)))[0]
+    ).partition()
+    assert {s.name for s in forward.set_y} == {s.name for s in backward.set_y}
+    assert forward.cost_trace == backward.cost_trace
+
+
+def test_bank_of_uses_membership_not_identity():
+    """bank_of answers by symbol *name*, so an equal-named symbol object
+    (e.g. rebuilt from a fresh module) resolves to the same bank."""
+    g, syms = _graph("AB", [("A", "B", 5)])
+    result = GreedyPartitioner(g).partition()
+    fresh_a = Symbol("A", size=4)
+    assert result.bank_of(fresh_a) is result.bank_of(syms["A"])
+
+
 def test_complete_equal_graph_balances():
     names = "ABCDEFGH"
     edges = []

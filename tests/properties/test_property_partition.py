@@ -81,3 +81,49 @@ def test_partition_deterministic(graph):
     second = GreedyPartitioner(graph).partition()
     assert [s.name for s in first.set_x] == [s.name for s in second.set_x]
     assert first.cost_trace == second.cost_trace
+
+
+@st.composite
+def graph_contents_with_orders(draw):
+    """The same graph *content* in two independent insertion orders."""
+    n = draw(st.integers(min_value=0, max_value=8))
+    names = ["s%d" % i for i in range(n)]
+    edges = {}
+    if n >= 2:
+        edge_count = draw(st.integers(min_value=0, max_value=n * (n - 1) // 2))
+        for _ in range(edge_count):
+            a = draw(st.integers(min_value=0, max_value=n - 1))
+            b = draw(st.integers(min_value=0, max_value=n - 1))
+            if a != b:
+                key = tuple(sorted((names[a], names[b])))
+                edges[key] = draw(st.integers(min_value=1, max_value=9))
+    edge_list = sorted(edges.items())
+    return (
+        (names, edge_list),
+        (draw(st.permutations(names)), draw(st.permutations(edge_list))),
+    )
+
+
+def _build_graph(names, edges):
+    symbols = {name: Symbol(name, size=1) for name in names}
+    graph = InterferenceGraph()
+    for name in names:
+        graph.add_node(symbols[name])
+    for (a, b), weight in edges:
+        graph.add_edge(symbols[a], symbols[b], weight)
+    return graph
+
+
+@given(graph_contents_with_orders())
+@settings(max_examples=60, deadline=None)
+def test_partition_invariant_under_insertion_order(orders):
+    """Ties break on node name, so the partition depends only on graph
+    content — never on the order nodes or edges were added."""
+    (names, edges), (shuffled_names, shuffled_edges) = orders
+    base = GreedyPartitioner(_build_graph(names, edges)).partition()
+    other = GreedyPartitioner(
+        _build_graph(shuffled_names, shuffled_edges)
+    ).partition()
+    assert {s.name for s in base.set_x} == {s.name for s in other.set_x}
+    assert {s.name for s in base.set_y} == {s.name for s in other.set_y}
+    assert base.cost_trace == other.cost_trace
