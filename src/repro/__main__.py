@@ -11,6 +11,10 @@ compare WORKLOAD [--strategies S1,S2,...]
     Run one workload under several configurations side by side.
 figure7 / figure8 / table3
     Regenerate the corresponding paper artifact.
+fuzz [--runs N] [--seed S] [--jobs J]
+    Differential fuzzing: random programs through every allocation
+    strategy and both simulator backends; failures are shrunk and
+    archived under tests/fuzz_corpus/.
 """
 
 import argparse
@@ -176,6 +180,21 @@ def cmd_report(args):
     return 0
 
 
+def cmd_fuzz(args):
+    from repro.fuzz.campaign import fuzz_campaign
+
+    failures = fuzz_campaign(
+        args.runs,
+        seed=args.seed,
+        jobs=_jobs(args),
+        max_statements=args.max_statements,
+        shrink=not args.no_shrink,
+        corpus_dir=args.corpus,
+        log=print,
+    )
+    return 1 if failures else 0
+
+
 def cmd_graph(args):
     workload = _workload(args.workload)
     compiled = compile_module(workload.build(), strategy=Strategy.CB)
@@ -252,6 +271,33 @@ def build_parser():
     add_backend(report)
     add_jobs(report)
     report.set_defaults(func=cmd_report)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: strategies x backends on random programs",
+    )
+    fuzz.add_argument(
+        "--runs", type=nonnegative_int, default=100, metavar="N",
+        help="number of seeded oracle runs (default 100)",
+    )
+    fuzz.add_argument(
+        "--seed", type=int, default=0, metavar="S",
+        help="first seed; run i uses seed S+i (default 0)",
+    )
+    fuzz.add_argument(
+        "--max-statements", type=nonnegative_int, default=6, metavar="K",
+        help="top-level statement budget per generated program (default 6)",
+    )
+    fuzz.add_argument(
+        "--corpus", default="tests/fuzz_corpus", metavar="DIR",
+        help="directory for shrunk failing recipes and their regressions",
+    )
+    fuzz.add_argument(
+        "--no-shrink", action="store_true",
+        help="archive failures without delta-debugging them first",
+    )
+    add_jobs(fuzz)
+    fuzz.set_defaults(func=cmd_fuzz)
 
     graph = sub.add_parser(
         "graph", help="interference graph of a workload in DOT format"

@@ -66,6 +66,22 @@ def _profile_counts(workload, backend, cache):
     return collect_block_counts(compiled.program, result)
 
 
+def parallel_map(fn, argument_tuples, jobs=None):
+    """Map a picklable top-level *fn* over argument tuples.
+
+    The shared fan-out primitive for every embarrassingly parallel sweep
+    (figure/table regeneration, the fuzz campaign): ``jobs`` in
+    (None, 0, 1) runs serially in-process, anything larger fans out over
+    a :class:`ProcessPoolExecutor`.  Results come back in input order
+    either way, so callers are oblivious to the execution mode.
+    """
+    argument_tuples = list(argument_tuples)
+    if not jobs or jobs == 1 or len(argument_tuples) <= 1:
+        return [fn(*arguments) for arguments in argument_tuples]
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        return list(pool.map(fn, *zip(*argument_tuples)))
+
+
 def _measure_pair(name, strategy_name, backend, verify):
     """Worker entry point: one (workload, strategy) measurement."""
     from repro.workloads.registry import get_workload
@@ -111,15 +127,8 @@ def evaluate_workloads(table, names, strategies, jobs=None, backend="interp",
             tasks.append((name, strategy.name, backend, verify))
 
     collected = {name: {} for name in names}
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        for name, measurement in pool.map(
-            _measure_pair,
-            [t[0] for t in tasks],
-            [t[1] for t in tasks],
-            [t[2] for t in tasks],
-            [t[3] for t in tasks],
-        ):
-            collected[name][measurement.strategy] = measurement
+    for name, measurement in parallel_map(_measure_pair, tasks, jobs=jobs):
+        collected[name][measurement.strategy] = measurement
 
     return {
         name: WorkloadEvaluation(

@@ -75,6 +75,10 @@ class ArrayHandle:
         return self.symbol.size
 
     @property
+    def size(self):
+        return self.symbol.size
+
+    @property
     def name(self):
         return self.symbol.name
 
@@ -163,7 +167,7 @@ class ProgramBuilder:
 
 
 class _LoopIds:
-    """Process-wide counter for hardware-loop identifiers."""
+    """Per-function counter for hardware-loop identifiers."""
 
     def __init__(self):
         self.next = 0

@@ -1,0 +1,32 @@
+"""Replay every archived fuzz-corpus recipe through the live oracle.
+
+``python -m repro fuzz`` writes shrunk failing recipes to
+``tests/fuzz_corpus/``; once the underlying bug is fixed, the recipe
+stays behind as a regression.  This test makes the whole corpus part of
+tier-1 automatically — no manual pasting required (the generated
+``test_regression_*.py`` files are self-contained alternatives for
+copying into a bug report).
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro.fuzz.generator import Recipe
+from repro.fuzz.oracle import check_recipe
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "..", "fuzz_corpus")
+
+RECIPES = sorted(glob.glob(os.path.join(CORPUS_DIR, "recipe_*.json")))
+
+
+@pytest.mark.parametrize("path", RECIPES, ids=os.path.basename)
+def test_corpus_recipe_replays_clean(path):
+    with open(path) as handle:
+        recipe = Recipe.from_json(handle.read())
+    check_recipe(recipe)
+
+
+def test_corpus_directory_exists():
+    assert os.path.isdir(CORPUS_DIR)

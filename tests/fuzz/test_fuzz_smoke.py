@@ -1,0 +1,80 @@
+"""Tier-1 fuzz smoke: a seeded slice of the campaign runs clean.
+
+``python -m repro fuzz`` covers thousands of seeds out of band; this
+keeps a small deterministic slice of that coverage in every test run.
+"""
+
+import pytest
+
+from repro.fuzz.generator import Recipe, generate_recipe
+from repro.fuzz.oracle import ORACLE_STRATEGIES, OracleViolation, check_recipe
+from repro.partition.strategies import Strategy
+
+SMOKE_SEEDS = range(25)
+
+
+@pytest.mark.parametrize("seed", SMOKE_SEEDS)
+def test_oracle_clean_on_seed(seed):
+    report = check_recipe(generate_recipe(seed))
+    for strategy in ORACLE_STRATEGIES:
+        assert strategy in report.cycles
+        assert report.cycles[Strategy.IDEAL] <= report.cycles[strategy]
+        assert report.cycles[strategy] <= report.cycles[Strategy.SINGLE_BANK]
+
+
+def test_interrupted_recipes_deliver_interrupts():
+    """At least one smoke seed must actually exercise the interrupt
+    path, otherwise the hook-toggling dimension is dead coverage."""
+    delivered = 0
+    for seed in SMOKE_SEEDS:
+        recipe = generate_recipe(seed)
+        if recipe.interrupt_period:
+            delivered += check_recipe(recipe).interrupts_delivered
+    assert delivered > 0
+
+
+def test_duplication_cases_reached():
+    """The grammar's Figure-6 shapes must drive the duplication
+    transform for some smoke seed (coherence checks need subjects)."""
+    duplicated = set()
+    for seed in SMOKE_SEEDS:
+        report = check_recipe(generate_recipe(seed))
+        duplicated.update(report.duplicated[Strategy.CB_DUP])
+    assert duplicated
+
+
+def test_violation_carries_recipe():
+    """A failing oracle attaches the recipe, so campaign workers can
+    report self-contained findings."""
+    recipe = Recipe(None, [4], [["scalar", 0, 2]])
+    strict = Recipe(None, [4], [["scalar", 0, 2]])
+
+    class _Boom(Exception):
+        pass
+
+    # Force a violation through the public surface: an impossible
+    # backend list makes make_simulator raise inside the oracle only
+    # after build-determinism passes.
+    with pytest.raises(ValueError):
+        check_recipe(recipe, backends=("interp", "warp"))
+
+    # And a genuine OracleViolation (simulation fault) carries .recipe:
+    # a recipe that exceeds max_cycles is hard to build from the closed
+    # grammar, so synthesize one by shrinking the budget instead.
+    import repro.fuzz.oracle as oracle_module
+
+    original = oracle_module._run_config
+
+    def starved(recipe_arg, strategy, backend, counts):
+        from repro.sim.simulator import SimulationError
+
+        raise SimulationError("synthetic fault")
+
+    oracle_module._run_config = starved
+    try:
+        with pytest.raises(OracleViolation) as caught:
+            check_recipe(strict)
+    finally:
+        oracle_module._run_config = original
+    assert caught.value.recipe == strict
+    assert caught.value.stage == "simulation-fault"

@@ -1,105 +1,39 @@
 """Differential property test: every allocation strategy must compute
-the same results, and none may be slower than the single-bank baseline.
+the same results, both simulator backends must be bit-identical, and no
+strategy may lose to the single-bank baseline.
 
-Random DSL programs (loops, conditionals, array traffic, scalar
-arithmetic) are generated from a seed recipe, then built once per
-strategy (compilation consumes modules) and executed.
+Programs are drawn from the fuzzing subsystem's recipe grammar
+(:mod:`repro.fuzz.generator` — nested loops, conditionals, calls, local
+arrays, duplicated-array store patterns, interrupt toggling) and checked
+by the full differential oracle (:mod:`repro.fuzz.oracle`).  Hypothesis
+explores the seed/size space and shrinks over it; for a minimal
+*recipe-level* reproducer of a failure, feed the printed seed to
+``python -m repro fuzz`` (whose delta debugger minimizes the recipe
+itself).
 """
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.frontend import ProgramBuilder
+from repro.fuzz.generator import Recipe, generate_recipe
+from repro.fuzz.oracle import check_recipe
 from repro.partition.strategies import Strategy
-from tests.conftest import compile_and_run
 
 
-@st.composite
-def program_recipes(draw):
-    """A serializable recipe from which a program can be rebuilt."""
-    statements = draw(
-        st.lists(
-            st.tuples(
-                st.integers(0, 4),      # statement kind
-                st.integers(0, 2),      # array choice
-                st.integers(0, 2),      # second array choice
-                st.integers(1, 7),      # scalar
-                st.integers(2, 6),      # loop trips
-            ),
-            min_size=1,
-            max_size=6,
-        )
-    )
-    return statements
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    max_statements=st.integers(1, 6),
+)
+@settings(max_examples=25, deadline=None)
+def test_oracle_holds_on_random_programs(seed, max_statements):
+    recipe = generate_recipe(seed, max_statements=max_statements)
+    report = check_recipe(recipe)
+    assert Strategy.SINGLE_BANK in report.cycles
+    assert report.cycles[Strategy.IDEAL] <= report.cycles[Strategy.CB]
 
 
-def _build(recipe):
-    pb = ProgramBuilder("prop")
-    arrays = [
-        pb.global_array("arr%d" % i, 8, float, init=[float(i + 1)] * 8)
-        for i in range(3)
-    ]
-    out = pb.global_array("out", 8, float)
-    checksum = pb.global_scalar("checksum", float)
-    with pb.function("main") as f:
-        acc = f.float_var("acc")
-        f.assign(acc, 0.0)
-        for kind, a_i, b_i, scalar, trips in recipe:
-            a = arrays[a_i]
-            b = arrays[b_i]
-            if kind == 0:  # dot-product style loop
-                with f.loop(trips) as i:
-                    f.assign(acc, acc + a[i] * b[i])
-            elif kind == 1:  # same-array offset access (duplication case)
-                with f.loop(trips) as i:
-                    f.assign(acc, acc + a[i] * a[i + 1])
-            elif kind == 2:  # array update loop
-                with f.loop(trips) as i:
-                    f.assign(a[i], b[i] + float(scalar))
-            elif kind == 3:  # conditional accumulation
-                with f.loop(trips) as i:
-                    v = f.float_var()
-                    f.assign(v, a[i])
-                    with f.if_(v > float(scalar) * 0.5):
-                        f.assign(acc, acc + v)
-                    with f.else_():
-                        f.assign(acc, acc - 1.0)
-            else:  # strided writeback
-                with f.loop(trips) as i:
-                    f.assign(out[i], acc + b[i])
-        f.assign(checksum[0], acc)
-    return pb.build()
-
-
-@given(program_recipes())
-@settings(max_examples=40, deadline=None)
-def test_all_strategies_agree_and_baseline_is_slowest(recipe):
-    from repro.ir.interp import IRInterpreter
-
-    results = {}
-    cycles = {}
-    for strategy in Strategy:
-        counts = {} if strategy is Strategy.CB_PROFILE else None
-        sim, result = compile_and_run(
-            _build(recipe), strategy=strategy, profile_counts=counts
-        )
-        results[strategy] = (
-            sim.read_global("checksum"),
-            tuple(sim.read_global("out")),
-        )
-        cycles[strategy] = result.cycles
-
-    # The sequential IR walker is the independent oracle.
-    interp = IRInterpreter(_build(recipe)).run()
-    reference = (
-        interp.read_global("checksum"),
-        tuple(interp.read_global("out")),
-    )
-    for strategy, observed in results.items():
-        assert observed == reference, strategy
-
-    # Partitioning may never lose to the baseline, and ideal dual-ported
-    # memory bounds the partitioned configurations from below.
-    assert cycles[Strategy.CB] <= cycles[Strategy.SINGLE_BANK]
-    assert cycles[Strategy.IDEAL] <= cycles[Strategy.CB]
-    assert cycles[Strategy.IDEAL] <= cycles[Strategy.CB_DUP]
+@given(seed=st.integers(0, 2**32 - 1))
+@settings(max_examples=25, deadline=None)
+def test_recipes_round_trip_through_json(seed):
+    recipe = generate_recipe(seed)
+    assert Recipe.from_json(recipe.to_json()) == recipe

@@ -1,4 +1,10 @@
-"""Interrupt injection and the store-lock/store-unlock protocol."""
+"""Interrupt injection and the store-lock/store-unlock protocol.
+
+Every test runs on both simulator backends: installing a hook forces
+the fast backend off its fused-superblock path onto the per-instruction
+fallback, which must honour the same delivery and lock-window rules as
+the reference interpreter.
+"""
 
 import pytest
 
@@ -6,8 +12,18 @@ from repro.compiler import compile_module
 from repro.frontend import ProgramBuilder
 from repro.ir.symbols import MemoryBank
 from repro.partition.strategies import Strategy
+from repro.sim.fastsim import FastSimulator, make_simulator
 from repro.sim.interrupts import DuplicateDivergenceError, InterruptInjector
-from repro.sim.simulator import Simulator
+
+pytestmark = pytest.mark.parametrize("backend", ["interp", "fast"])
+
+
+def _assert_hook_path(sim):
+    """With a hook installed the fast backend must compile and run the
+    per-instruction step table, never the fused superblocks."""
+    if isinstance(sim, FastSimulator):
+        assert sim._steps is not None, "per-instruction fallback not compiled"
+        assert sim._blocks is None, "fused path must stay cold under a hook"
 
 
 def _dup_module():
@@ -29,55 +45,44 @@ def _dup_module():
     return pb.build()
 
 
-def test_interrupts_never_observe_divergent_copies():
+def test_interrupts_never_observe_divergent_copies(backend):
     module = _dup_module()
     compiled = compile_module(module, strategy=Strategy.CB_DUP)
     assert module.globals.get("signal").bank is MemoryBank.BOTH
     injector = InterruptInjector(module, period=1)  # every unlocked cycle
-    sim = Simulator(compiled.program, interrupt_hook=injector)
+    sim = make_simulator(compiled.program, backend=backend, interrupt_hook=injector)
     sim.run()
     assert injector.delivered > 0
+    _assert_hook_path(sim)
 
 
-def test_unlocked_duplication_can_diverge_under_interrupts():
-    """Without store-lock/store-unlock, an interrupt can land between the
-    two stores of an update and see the copies out of sync — the hazard
-    paper Section 3.2 describes."""
-    module = _dup_module()
+def _run_unsafe(backend):
+    """One unlocked-duplication run; returns whether it diverged."""
     compiled = compile_module(
-        module, strategy=Strategy.CB_DUP, interrupt_safe=False
+        _dup_module(), strategy=Strategy.CB_DUP, interrupt_safe=False
     )
-    injector = InterruptInjector(module, period=1)
-    sim = Simulator(compiled.program, interrupt_hook=injector)
+    injector = InterruptInjector(compiled.program.module, period=1)
+    sim = make_simulator(compiled.program, backend=backend, interrupt_hook=injector)
     try:
         sim.run()
-        diverged = False
+        return False
     except DuplicateDivergenceError:
-        diverged = True
-    # The schedule may or may not split a store pair across instructions;
-    # when it does, the injector must catch it.  Either way the run is
-    # deterministic — assert the observed outcome is stable.
-    sim2 = Simulator(
-        compile_module(_dup_module(), strategy=Strategy.CB_DUP, interrupt_safe=False).program,
-        interrupt_hook=InterruptInjector(_dup_module_globals(), period=1),
-    )
-    try:
-        sim2.run()
-        diverged2 = False
-    except DuplicateDivergenceError:
-        diverged2 = True
-    assert diverged == diverged2
+        return True
 
 
-def _dup_module_globals():
-    module = _dup_module()
-    from repro.partition.strategies import run_allocation
+def test_unlocked_duplication_can_diverge_under_interrupts(backend):
+    """Without store-lock/store-unlock, an interrupt can land between the
+    two stores of an update and see the copies out of sync — the hazard
+    paper Section 3.2 describes.  The schedule may or may not split a
+    store pair across instructions; when it does, the injector must
+    catch it.  Either way the run is deterministic — and both backends
+    must observe the same outcome."""
+    diverged = _run_unsafe(backend)
+    assert diverged == _run_unsafe(backend)  # deterministic per backend
+    assert diverged == _run_unsafe("interp")  # and across backends
 
-    run_allocation(module, Strategy.CB_DUP, interrupt_safe=False)
-    return module
 
-
-def test_interrupt_writer_feeds_program():
+def test_interrupt_writer_feeds_program(backend):
     """An interrupt handler that writes a duplicated global (external
     data arriving mid-run) must keep both copies coherent via
     write_global, and the program sees the new data."""
@@ -98,12 +103,13 @@ def test_interrupt_writer_feeds_program():
 
     module = compiled.program.module
     injector = InterruptInjector(module, period=1, writer=writer)
-    sim = Simulator(compiled.program, interrupt_hook=injector)
+    sim = make_simulator(compiled.program, backend=backend, interrupt_hook=injector)
     sim.run()
     assert sim.read_global("out") > 0
+    _assert_hook_path(sim)
 
 
-def test_locked_window_defers_interrupts():
+def test_locked_window_defers_interrupts(backend):
     """The simulator must not call the hook between a store-lock and its
     matching store-unlock."""
     module = _dup_module()
@@ -114,7 +120,26 @@ def test_locked_window_defers_interrupts():
     def hook(sim, cycle):
         observed_locked.append(sim.locked)
 
-    sim = Simulator(compiled.program, interrupt_hook=hook)
+    sim = make_simulator(compiled.program, backend=backend, interrupt_hook=hook)
     sim.run()
     assert observed_locked  # interrupts were delivered...
     assert not any(observed_locked)  # ...but never inside a lock window
+    _assert_hook_path(sim)
+
+
+def test_hook_delivery_cycles_match_reference(backend):
+    """The per-instruction fallback must present the hook with exactly
+    the cycle sequence the reference interpreter does."""
+    def _cycles(which):
+        compiled = compile_module(_dup_module(), strategy=Strategy.CB_DUP)
+        seen = []
+
+        def hook(sim, cycle):
+            seen.append(cycle)
+
+        make_simulator(
+            compiled.program, backend=which, interrupt_hook=hook
+        ).run()
+        return seen
+
+    assert _cycles(backend) == _cycles("interp")

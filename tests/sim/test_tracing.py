@@ -1,10 +1,20 @@
-"""Tests for profiling support (block execution counts)."""
+"""Tests for profiling support (block execution counts).
+
+Parametrized over both simulator backends: block counts derive from the
+per-pc execution counts, which the fast backend reconstructs from
+superblock leader counts after the run — the reconstruction must be
+indistinguishable from the reference interpreter's per-cycle counting.
+"""
+
+import pytest
 
 from repro.compiler import compile_module
 from repro.frontend import ProgramBuilder
 from repro.partition.strategies import Strategy
-from repro.sim.simulator import Simulator
+from repro.sim.fastsim import FastSimulator, make_simulator
 from repro.sim.tracing import collect_block_counts, profile_module
+
+pytestmark = pytest.mark.parametrize("backend", ["interp", "fast"])
 
 
 def _loop_module():
@@ -19,11 +29,15 @@ def _loop_module():
     return pb.build()
 
 
-def test_block_counts_reflect_trip_counts():
+def test_block_counts_reflect_trip_counts(backend):
     module = _loop_module()
     compiled = compile_module(module, strategy=Strategy.SINGLE_BANK)
-    sim = Simulator(compiled.program)
+    sim = make_simulator(compiled.program, backend=backend)
     result = sim.run()
+    if isinstance(sim, FastSimulator):
+        # Hook-free profiling runs stay on the fused superblock path.
+        assert sim._blocks is not None
+        assert sim._steps is None
     counts = collect_block_counts(compiled.program, result)
     body_labels = [b.label for b in module.main.blocks if b.loop_depth == 1]
     for label in body_labels:
@@ -32,16 +46,30 @@ def test_block_counts_reflect_trip_counts():
     assert counts[entry_label] == 1
 
 
-def test_profile_module_helper():
+def test_block_counts_identical_across_backends(backend):
+    compiled = compile_module(_loop_module(), strategy=Strategy.SINGLE_BANK)
+    result = make_simulator(compiled.program, backend=backend).run()
+    counts = collect_block_counts(compiled.program, result)
+    reference_compiled = compile_module(
+        _loop_module(), strategy=Strategy.SINGLE_BANK
+    )
+    reference = collect_block_counts(
+        reference_compiled.program,
+        make_simulator(reference_compiled.program, backend="interp").run(),
+    )
+    assert counts == reference
+
+
+def test_profile_module_helper(backend):
     counts = profile_module(_loop_module)
     assert max(counts.values()) == 10
 
 
-def test_profile_feeds_cb_profile_strategy():
+def test_profile_feeds_cb_profile_strategy(backend):
     counts = profile_module(_loop_module)
     compiled = compile_module(
         _loop_module(), strategy=Strategy.CB_PROFILE, profile_counts=counts
     )
-    sim = Simulator(compiled.program)
+    sim = make_simulator(compiled.program, backend=backend)
     sim.run()
     assert sim.read_global("out") == 10.0

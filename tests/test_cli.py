@@ -4,6 +4,19 @@ import pytest
 
 from repro.__main__ import build_parser, main
 
+#: every registered subcommand (kept in sync by test_parser_has_all_commands)
+ALL_COMMANDS = (
+    "list",
+    "run",
+    "compare",
+    "figure7",
+    "figure8",
+    "table3",
+    "report",
+    "fuzz",
+    "graph",
+)
+
 
 def test_list_command(capsys):
     assert main(["list"]) == 0
@@ -59,8 +72,71 @@ def test_unknown_strategy_errors():
 def test_parser_has_all_commands():
     parser = build_parser()
     text = parser.format_help()
-    for command in ("list", "run", "compare", "figure7", "figure8", "table3"):
+    for command in ALL_COMMANDS:
         assert command in text
+    # ALL_COMMANDS is exhaustive: a new subcommand must extend the smoke
+    # tests below, so flag any drift between the parser and this module.
+    listed = set(parser._subparsers._group_actions[0].choices)
+    assert listed == set(ALL_COMMANDS)
+
+
+@pytest.mark.parametrize("command", ALL_COMMANDS)
+def test_every_subcommand_has_help(command, capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main([command, "--help"])
+    assert excinfo.value.code == 0
+    assert "usage:" in capsys.readouterr().out
+
+
+def test_no_command_is_an_error(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main([])
+    assert excinfo.value.code != 0
+
+
+def test_unknown_command_is_an_error():
+    with pytest.raises(SystemExit) as excinfo:
+        main(["frobnicate"])
+    assert excinfo.value.code != 0
+
+
+def test_fuzz_rejects_negative_runs():
+    with pytest.raises(SystemExit):
+        main(["fuzz", "--runs", "-5"])
+
+
+def test_fuzz_tiny_end_to_end(capsys, tmp_path):
+    corpus = str(tmp_path / "corpus")
+    assert (
+        main(["fuzz", "--runs", "3", "--seed", "0", "--corpus", corpus]) == 0
+    )
+    out = capsys.readouterr().out
+    assert "3 runs, 0 oracle violations" in out
+    import os
+
+    assert not os.path.exists(corpus)  # nothing archived on a clean run
+
+
+def test_fuzz_archives_failures(capsys, tmp_path, monkeypatch):
+    """End to end through the CLI with an injected oracle bug: nonzero
+    exit code, shrunk recipe and regression written to the corpus."""
+    from repro.fuzz import campaign
+    from repro.fuzz.oracle import OracleViolation
+
+    def broken(recipe, **_kwargs):
+        raise OracleViolation("strategy-semantics", "injected")
+
+    monkeypatch.setattr(campaign, "check_recipe", broken)
+    corpus = str(tmp_path / "corpus")
+    assert (
+        main(["fuzz", "--runs", "1", "--seed", "7", "--corpus", corpus]) == 1
+    )
+    out = capsys.readouterr().out
+    assert "1 oracle violation" in out
+    import glob
+
+    assert glob.glob(corpus + "/recipe_*.json")
+    assert glob.glob(corpus + "/test_regression_*.py")
 
 
 def test_graph_command_produces_dot(capsys):
