@@ -11,6 +11,12 @@ compare WORKLOAD [--strategies S1,S2,...]
     Run one workload under several configurations side by side.
 figure7 / figure8 / table3
     Regenerate the corresponding paper artifact.
+report [--workload W --strategy S --baseline B --top N --json PATH]
+    Without --workload: the full reproduced evaluation as markdown.
+    With --workload: the observability report for one configuration —
+    per-pass compile timings, hot pcs, bank histograms, and the
+    bank-conflict table (markdown + embedded JSON; --json also writes
+    the JSON document to a file, "-" for stdout).
 fuzz [--runs N] [--seed S] [--jobs J]
     Differential fuzzing: random programs through every allocation
     strategy and both simulator backends; failures are shrunk and
@@ -166,6 +172,8 @@ def cmd_table3(args):
 
 
 def cmd_report(args):
+    if args.workload is not None:
+        return _cmd_observability_report(args)
     from repro.evaluation import figure7, figure8, table3
     from repro.evaluation.reporting import render_markdown
 
@@ -177,6 +185,32 @@ def cmd_report(args):
             table3(jobs=jobs, backend=backend),
         )
     )
+    return 0
+
+
+def _cmd_observability_report(args):
+    """`report --workload W`: the per-configuration observability report."""
+    import json
+
+    from repro.evaluation.reporting import render_observability
+    from repro.obs.report import build_report
+
+    workload = _workload(args.workload)
+    report = build_report(
+        workload,
+        strategy=_strategy(args.strategy),
+        baseline=_strategy(args.baseline),
+        backend=args.backend,
+        top=args.top,
+    )
+    print(render_observability(report))
+    if args.json:
+        document = json.dumps(report, indent=2, sort_keys=True)
+        if args.json == "-":
+            print(document)
+        else:
+            with open(args.json, "w") as handle:
+                handle.write(document + "\n")
     return 0
 
 
@@ -266,7 +300,29 @@ def build_parser():
         artifact.set_defaults(func=func)
 
     report = sub.add_parser(
-        "report", help="full reproduced evaluation as markdown"
+        "report",
+        help="full evaluation as markdown; with --workload, the "
+        "observability report (compile timings, hot pcs, conflicts)",
+    )
+    report.add_argument(
+        "--workload", default=None, metavar="W",
+        help="emit the per-configuration observability report instead",
+    )
+    report.add_argument(
+        "--strategy", default="CB",
+        help="configuration the observability report studies",
+    )
+    report.add_argument(
+        "--baseline", default="SINGLE_BANK",
+        help="configuration the observability report compares against",
+    )
+    report.add_argument(
+        "--top", type=nonnegative_int, default=10, metavar="N",
+        help="hot pcs to list per configuration (default 10)",
+    )
+    report.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the JSON document to PATH ('-' for stdout)",
     )
     add_backend(report)
     add_jobs(report)

@@ -11,6 +11,12 @@
 5. run the **operation-compaction pass** per basic block, emitting long
    instructions, and assemble them into a flat
    :class:`~repro.machine.instruction.MachineProgram`.
+
+Every pass is wrapped in an instrumentation span (see
+:mod:`repro.obs.core`): pass a :class:`~repro.obs.core.Recorder` via
+``CompileOptions(observe=...)`` to collect per-pass wall time plus IR
+deltas (operation counts, emitted instruction count, long-instruction
+fill rate).  Without a recorder the spans are shared no-ops.
 """
 
 from repro.compiler.compaction import compact_block
@@ -19,6 +25,8 @@ from repro.compiler.layout import layout_globals
 from repro.compiler.regalloc import allocate_registers
 from repro.ir.validate import validate_module
 from repro.machine.instruction import MachineProgram
+from repro.machine.resources import ALL_UNITS
+from repro.obs.core import NULL_RECORDER
 from repro.partition.strategies import Strategy, run_allocation
 
 
@@ -34,11 +42,15 @@ class CompileOptions:
         software_pipelining=False,
         optimize=False,
         unroll_factor=1,
+        observe=None,
     ):
         self.strategy = strategy
         self.profile_counts = profile_counts
         self.interrupt_safe = interrupt_safe
         self.validate = validate
+        #: Optional :class:`~repro.obs.core.Recorder` collecting per-pass
+        #: spans; None means the shared no-op recorder.
+        self.observe = observe
         #: Run dead-code elimination before register allocation.
         self.optimize = optimize
         #: Replicate eligible inner-loop bodies this many times.
@@ -77,64 +89,137 @@ def compile_module(module, options=None, **kwargs):
         options = CompileOptions(**kwargs)
     elif kwargs:
         raise TypeError("pass either options or keyword arguments, not both")
+    observe = options.observe if options.observe is not None else NULL_RECORDER
 
-    if options.validate:
-        validate_module(module)
+    with observe.span("compile") as compile_span:
+        if options.validate:
+            with observe.span("validate"):
+                validate_module(module)
 
-    allocation = run_allocation(
-        module,
-        options.strategy,
-        profile_counts=options.profile_counts,
-        interrupt_safe=options.interrupt_safe,
-    )
-    dual_stacks = options.strategy is not Strategy.SINGLE_BANK
-
-    if options.unroll_factor > 1:
-        from repro.compiler.unroll import unroll_inner_loops
-
-        unroll_inner_loops(module, options.unroll_factor)
-
-    pipelining = None
-    if options.software_pipelining:
-        from repro.compiler.pipelining import pipeline_inner_loops
-
-        pipelining = pipeline_inner_loops(module)
-
-    if options.optimize:
-        from repro.compiler.optimize import eliminate_dead_code
-
-        eliminate_dead_code(module)
-
-    register_records = {}
-    ordered = [module.main] + [
-        f for name, f in module.functions.items() if name != "main"
-    ]
-    for function in ordered:
-        record = allocate_registers(function, module, dual_stacks)
-        insert_save_restore(function, record, dual_stacks)
-        register_records[function.name] = record
-
-    program = MachineProgram()
-    program.module = module
-    program.layout = layout_globals(module)
-
-    loop_starts = {}
-    for function in ordered:
-        program.function_entries[function.name] = len(program.instructions)
-        for block in function.blocks:
-            program.labels[block.label] = len(program.instructions)
-            if block.hw_loop is not None and block.hw_loop not in loop_starts:
-                loop_starts[block.hw_loop] = len(program.instructions)
-            program.instructions.extend(
-                compact_block(block, dual_ported=allocation.dual_ported)
+        with observe.span("allocate") as span:
+            allocation = run_allocation(
+                module,
+                options.strategy,
+                profile_counts=options.profile_counts,
+                interrupt_safe=options.interrupt_safe,
+                observe=observe,
             )
-        program.frames[function.name] = layout_frame(function)
+            span.set(
+                strategy=options.strategy.name,
+                graph_nodes=(
+                    len(allocation.graph) if allocation.graph is not None else 0
+                ),
+                duplicated=len(allocation.duplicated),
+            )
+        dual_stacks = options.strategy is not Strategy.SINGLE_BANK
 
-    for index, instruction in enumerate(program.instructions):
-        for loop_id in instruction.loop_ends:
-            start = loop_starts.get(loop_id)
-            if start is None:
-                raise RuntimeError("LOOP_END without body for %r" % loop_id)
-            program.loops[loop_id] = (start, index)
+        if options.unroll_factor > 1:
+            from repro.compiler.unroll import unroll_inner_loops
 
+            with observe.span("unroll") as span:
+                before = _operation_count(module)
+                unroll_inner_loops(module, options.unroll_factor)
+                span.set(
+                    factor=options.unroll_factor,
+                    operations_before=before,
+                    operations_after=_operation_count(module),
+                )
+
+        pipelining = None
+        if options.software_pipelining:
+            from repro.compiler.pipelining import pipeline_inner_loops
+
+            with observe.span("pipelining") as span:
+                before = _operation_count(module)
+                pipelining = pipeline_inner_loops(module)
+                span.set(
+                    operations_before=before,
+                    operations_after=_operation_count(module),
+                )
+
+        if options.optimize:
+            from repro.compiler.optimize import eliminate_dead_code
+
+            with observe.span("optimize") as span:
+                before = _operation_count(module)
+                eliminate_dead_code(module)
+                span.set(
+                    operations_before=before,
+                    operations_after=_operation_count(module),
+                )
+
+        register_records = {}
+        ordered = [module.main] + [
+            f for name, f in module.functions.items() if name != "main"
+        ]
+        with observe.span("regalloc") as span:
+            before = _operation_count(module)
+            for function in ordered:
+                record = allocate_registers(function, module, dual_stacks)
+                insert_save_restore(function, record, dual_stacks)
+                register_records[function.name] = record
+            span.set(
+                functions=len(ordered),
+                operations_before=before,
+                operations_after=_operation_count(module),
+            )
+
+        program = MachineProgram()
+        program.module = module
+        with observe.span("layout") as span:
+            program.layout = layout_globals(module)
+            span.set(
+                data_words_x=program.layout.data_size_x,
+                data_words_y=program.layout.data_size_y,
+            )
+
+        with observe.span("compaction") as span:
+            loop_starts = {}
+            for function in ordered:
+                program.function_entries[function.name] = len(
+                    program.instructions
+                )
+                for block in function.blocks:
+                    program.labels[block.label] = len(program.instructions)
+                    if (
+                        block.hw_loop is not None
+                        and block.hw_loop not in loop_starts
+                    ):
+                        loop_starts[block.hw_loop] = len(program.instructions)
+                    program.instructions.extend(
+                        compact_block(
+                            block, dual_ported=allocation.dual_ported
+                        )
+                    )
+                program.frames[function.name] = layout_frame(function)
+
+            for index, instruction in enumerate(program.instructions):
+                for loop_id in instruction.loop_ends:
+                    start = loop_starts.get(loop_id)
+                    if start is None:
+                        raise RuntimeError(
+                            "LOOP_END without body for %r" % loop_id
+                        )
+                    program.loops[loop_id] = (start, index)
+            scheduled = sum(len(i.slots) for i in program.instructions)
+            span.set(
+                instructions=len(program.instructions),
+                scheduled_operations=scheduled,
+                fill_rate=(
+                    scheduled / (len(program.instructions) * len(ALL_UNITS))
+                    if program.instructions
+                    else 0.0
+                ),
+            )
+
+        compile_span.set(
+            strategy=options.strategy.name,
+            instructions=len(program.instructions),
+        )
     return CompileResult(program, allocation, register_records, pipelining)
+
+
+def _operation_count(module):
+    """Total unpacked operations currently in *module* (an IR delta
+    metric: passes report it before and after rewriting)."""
+    return sum(1 for _op in module.operations())

@@ -16,6 +16,7 @@ from repro.evaluation.sweeps import duplication_crossover, kernel_size_sweep, sw
 from repro.evaluation.reporting import (
     render_figure7,
     render_figure8,
+    render_observability,
     render_table3,
 )
 
@@ -31,6 +32,7 @@ __all__ = [
     "kernel_size_sweep",
     "render_figure7",
     "render_figure8",
+    "render_observability",
     "render_table3",
     "resolve_jobs",
     "sweep",

@@ -35,6 +35,7 @@ class FigureSeries:
         self.evaluations = evaluations
 
     def series(self, label):
+        """Gains for configuration *label*, in plot (x-axis) order."""
         return [self.gains[label][name] for name in self.order]
 
 

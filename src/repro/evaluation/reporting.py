@@ -1,8 +1,15 @@
-"""ASCII rendering of the reproduced figures and table.
+"""Rendering: the reproduced figures/table and the observability report.
 
-Each renderer prints the same rows/series the paper reports, with the
-paper's own numbers alongside where the paper states them.
+Each figure/table renderer prints the same rows/series the paper
+reports, with the paper's own numbers alongside where the paper states
+them.  :func:`render_observability` renders the per-workload
+observability report (:func:`repro.obs.report.build_report`) — per-pass
+compile timings, hot pcs, bank histograms, and the bank-conflict table
+— as one markdown document with the machine-readable JSON embedded at
+the end.
 """
+
+import json
 
 from repro.evaluation.paper_data import PAPER_TABLE3, PAPER_TABLE3_MEAN
 from repro.evaluation.tables import TABLE3_CONFIGS
@@ -14,6 +21,7 @@ def _bar(value, scale=1.0, width=50):
 
 
 def render_figure7(series):
+    """Figure 7 as fixed-width text: per-kernel CB and Ideal gains."""
     lines = [series.title, "=" * len(series.title), ""]
     lines.append("%-14s %8s %8s   gain over single-bank baseline" % ("kernel", "CB", "Ideal"))
     for name in series.order:
@@ -33,6 +41,7 @@ def render_figure7(series):
 
 
 def render_figure8(series):
+    """Figure 8 as fixed-width text: per-application gains per config."""
     lines = [series.title, "=" * len(series.title), ""]
     header = "%-14s" % "application"
     for label in series.labels:
@@ -113,7 +122,150 @@ def render_markdown(figure7_series, figure8_series, table):
     return "\n".join(lines)
 
 
+def _pass_details(row):
+    """One cell summarizing a pass's metrics (everything but name/time)."""
+    parts = []
+    for key, value in row.items():
+        if key in ("pass", "seconds"):
+            continue
+        if isinstance(value, float):
+            parts.append("%s=%.3f" % (key, value))
+        else:
+            parts.append("%s=%s" % (key, value))
+    return ", ".join(parts)
+
+
+def _render_passes(lines, config):
+    lines.append("| pass | time (µs) | details |")
+    lines.append("|---|---:|---|")
+    for row in config["compile_passes"]:
+        lines.append(
+            "| %s | %.0f | %s |"
+            % (row["pass"], 1e6 * (row["seconds"] or 0.0), _pass_details(row))
+        )
+    if config["compile_seconds"] is not None:
+        lines.append(
+            "| **total** | **%.0f** | |" % (1e6 * config["compile_seconds"])
+        )
+
+
+def _render_conflicts(lines, config, limit=15):
+    conflicts = config["profile"]["conflicts"]
+    if not conflicts:
+        lines.append("No bank conflicts: no two memory operations to the")
+        lines.append("same bank were serialized in adjacent instructions.")
+        return
+    lines.append("| variable pair | bank | cycles | static sites | note |")
+    lines.append("|---|---|---:|---:|---|")
+    for entry in conflicts[:limit]:
+        note = "same variable (duplication candidate)" if entry["same_variable"] else ""
+        lines.append(
+            "| %s, %s | %s | %d | %d | %s |"
+            % (
+                entry["var_a"],
+                entry["var_b"],
+                entry["bank"],
+                entry["cycles"],
+                entry["events"],
+                note,
+            )
+        )
+    if len(conflicts) > limit:
+        lines.append("")
+        lines.append(
+            "(%d further pairs omitted; see the JSON document.)"
+            % (len(conflicts) - limit)
+        )
+
+
+def render_observability(report):
+    """Render a :func:`repro.obs.report.build_report` dict as markdown.
+
+    The document carries the human-readable tables (configuration
+    summary, per-pass compile-time breakdown, top-N hot pcs, per-bank
+    access histogram, bank-conflict table) followed by the complete
+    JSON report in a fenced block, so one emission is both readable and
+    machine-parseable.
+    """
+    base = report["baseline"]
+    target = report["strategy"]
+    deltas = report["deltas"]
+    lines = [
+        "# Observability report — %s (%s)" % (report["workload"], report["category"]),
+        "",
+        "Strategy **%s** vs baseline **%s**, backend `%s`."
+        % (target["label"], base["label"], report["backend"]),
+        "",
+        "| | %s | %s | delta |" % (base["label"], target["label"]),
+        "|---|---:|---:|---:|",
+        "| cycles | %d | %d | %+.1f%% gain |"
+        % (base["cycles"], target["cycles"], deltas["gain_percent"]),
+        "| operations | %d | %d | |"
+        % (base["operations"], target["operations"]),
+        "| ops/cycle | %.2f | %.2f | |"
+        % (base["parallelism"], target["parallelism"]),
+        "| code size (instructions) | %d | %d | %+d |"
+        % (base["code_size"], target["code_size"], deltas["code_size_delta"]),
+        "| conflict cycles | %d | %d | %+d removed |"
+        % (
+            deltas["conflict_cycles_baseline"],
+            deltas["conflict_cycles_strategy"],
+            deltas["conflict_cycles_removed"],
+        ),
+    ]
+    if target["duplicated"]:
+        lines.append(
+            "| duplicated symbols | | %s | |" % ", ".join(target["duplicated"])
+        )
+    for config in (base, target):
+        lines += ["", "## Compile passes — %s" % config["label"], ""]
+        _render_passes(lines, config)
+    for config in (base, target):
+        lines += ["", "## Hot pcs — %s (top %d)" % (config["label"], report["top"]), ""]
+        lines.append("| pc | cycles | share | block | instruction |")
+        lines.append("|---:|---:|---:|---|---|")
+        for row in config["profile"]["hot_pcs"]:
+            lines.append(
+                "| %d | %d | %.1f%% | %s | `%s` |"
+                % (
+                    row["pc"],
+                    row["cycles"],
+                    100.0 * row["share"],
+                    row["block"],
+                    row["text"],
+                )
+            )
+    lines += ["", "## Bank accesses", ""]
+    lines.append("| configuration | X loads | X stores | Y loads | Y stores |")
+    lines.append("|---|---:|---:|---:|---:|")
+    for config in (base, target):
+        banks = config["profile"]["bank_accesses"]
+        lines.append(
+            "| %s | %d | %d | %d | %d |"
+            % (
+                config["label"],
+                banks["X"]["loads"],
+                banks["X"]["stores"],
+                banks["Y"]["loads"],
+                banks["Y"]["stores"],
+            )
+        )
+    for config in (base, target):
+        lines += ["", "## Bank-conflict table — %s" % config["label"], ""]
+        _render_conflicts(lines, config)
+    lines += [
+        "",
+        "## Machine-readable report",
+        "",
+        "```json",
+        json.dumps(report, indent=2, sort_keys=True),
+        "```",
+    ]
+    return "\n".join(lines)
+
+
 def render_table3(table):
+    """Table 3 as fixed-width text: PG / CI / PCR per application."""
     title = "Table 3: Performance/Cost Trade-Offs of Exploiting Dual Data-Memory Banks"
     lines = [title, "=" * len(title), ""]
     labels = [label for label, _s in TABLE3_CONFIGS]

@@ -45,9 +45,11 @@ class WorkloadEvaluation:
 
     @property
     def baseline(self):
+        """The single-bank measurement every gain is normalized to."""
         return self.measurements[Strategy.SINGLE_BANK]
 
     def cycles(self, strategy):
+        """Cycle count measured under *strategy*."""
         return self.measurements[strategy].cycles
 
     def gain_percent(self, strategy):
@@ -71,6 +73,7 @@ class WorkloadEvaluation:
         return _ratio(self.measurements[strategy].cost.total, self.baseline.cost.total)
 
     def pcr(self, strategy):
+        """Performance/cost ratio PG/CI (paper Table 3); inf at CI=0."""
         ci = self.cost_increase(strategy)
         if ci == 0.0:
             return float("inf")

@@ -37,27 +37,43 @@ class SweepPoint:
         )
 
 
-def _measure(module, strategy):
-    compiled = compile_module(module, strategy=strategy)
+def _measure(module, strategy, observe=None):
+    compiled = compile_module(module, strategy=strategy, observe=observe)
     simulator = Simulator(compiled.program)
     result = simulator.run()
     return result.cycles, CostModel().measure(compiled, result).total
 
 
-def sweep(factory, parameters, strategies):
+def sweep(factory, parameters, strategies, observe=None):
     """Measure ``factory(parameter)`` under each strategy.
 
     ``factory`` must return a fresh module per call. Returns
     ``{parameter: {strategy: SweepPoint}}`` with SINGLE_BANK always
     included as the baseline.
+
+    ``observe`` is an optional :class:`~repro.obs.core.Recorder`: each
+    measurement gets a ``point`` span (with parameter/strategy/cycles
+    metrics) wrapping the instrumented compile — the structured
+    replacement for sprinkling progress prints through long sweeps.
     """
+    if observe is None:
+        from repro.obs.core import NULL_RECORDER as observe
     rows = {}
     for parameter in parameters:
         row = {}
         for strategy in [Strategy.SINGLE_BANK] + [
             s for s in strategies if s is not Strategy.SINGLE_BANK
         ]:
-            cycles, cost = _measure(factory(parameter), strategy)
+            with observe.span("point") as span:
+                cycles, cost = _measure(
+                    factory(parameter), strategy, observe=observe
+                )
+                span.set(
+                    parameter=parameter,
+                    strategy=strategy.name,
+                    cycles=cycles,
+                    cost=cost,
+                )
             row[strategy] = SweepPoint(parameter, strategy, cycles, cost)
         rows[parameter] = row
     return rows

@@ -25,6 +25,7 @@ class Table3:
 
     @property
     def order(self):
+        """Application names in the paper's row order."""
         return [name for name in APPLICATION_ORDER if name in self.rows]
 
     def mean(self, label):

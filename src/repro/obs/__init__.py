@@ -1,0 +1,35 @@
+"""Observability: pass-level compiler metrics, run profiling, reports.
+
+The paper's whole argument is about *where* memory-bank conflicts arise
+and which compiler decisions remove them, so this package makes every
+stage of the reproduction inspectable:
+
+* :mod:`repro.obs.core` — a lightweight span/counter instrumentation
+  core (context-manager spans, monotonic timing, nestable, and a no-op
+  null recorder so instrumented code pays nothing when observation is
+  off).  The compiler pipeline threads a recorder through every pass.
+* :mod:`repro.obs.profile` — post-run profiling over a simulated
+  program: per-pc cycle attribution, per-bank access histograms, and
+  the bank-conflict ledger attributing serialized memory pairs to the
+  variable pairs that caused them.
+* :mod:`repro.obs.report` — assembles both into one JSON-ready report
+  for a (workload, strategy, backend) combination; rendered to
+  markdown by :func:`repro.evaluation.reporting.render_observability`
+  and exposed as ``python -m repro report --workload ...``.
+
+See ``docs/observability.md`` for the full walkthrough.
+"""
+
+from repro.obs.core import NULL_RECORDER, Recorder, Span
+from repro.obs.profile import ConflictEntry, RunProfile, profile_run
+from repro.obs.report import build_report
+
+__all__ = [
+    "ConflictEntry",
+    "NULL_RECORDER",
+    "Recorder",
+    "RunProfile",
+    "Span",
+    "build_report",
+    "profile_run",
+]

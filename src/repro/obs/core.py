@@ -1,0 +1,247 @@
+"""The span/counter instrumentation core.
+
+A :class:`Recorder` collects a tree of timed :class:`Span` objects plus
+named counters.  Instrumented code holds a recorder (or the shared
+:data:`NULL_RECORDER`) and wraps interesting regions::
+
+    recorder = Recorder()
+    with recorder.span("compile") as outer:
+        with recorder.span("allocate") as inner:
+            inner.set(edges=graph_edge_count)
+        recorder.counter("modules", 1)
+    recorder.spans[0].duration      # seconds, monotonic clock
+
+Design constraints, in order:
+
+* **near-zero overhead when disabled** — :data:`NULL_RECORDER` hands out
+  one shared no-op span whose ``__enter__``/``set``/``count`` do
+  nothing, so instrumented call sites never branch on an "enabled"
+  flag themselves;
+* **nestable** — spans opened inside an active span become its
+  children; the tree mirrors the dynamic call structure;
+* **serializable** — :meth:`Recorder.to_dict` produces plain dicts and
+  lists, ready for ``json.dumps`` (used by the ``repro report`` JSON
+  document).
+
+Timing uses :func:`time.perf_counter` (monotonic, sub-microsecond).
+"""
+
+import time
+
+__all__ = ["NULL_RECORDER", "NullRecorder", "Recorder", "Span"]
+
+
+class Span:
+    """One timed region: name, duration, metrics, counters, children.
+
+    Created by :meth:`Recorder.span` and used as a context manager; the
+    duration is measured from ``__enter__`` to ``__exit__``.  ``set``
+    attaches point-in-time metrics (e.g. an instruction count after a
+    pass); ``count`` accumulates a counter local to this span.
+    """
+
+    __slots__ = ("name", "duration", "metrics", "counters", "children",
+                 "_recorder", "_start")
+
+    def __init__(self, name, recorder=None):
+        self.name = name
+        #: elapsed seconds; None while the span is still open
+        self.duration = None
+        #: point-in-time metrics attached via :meth:`set`
+        self.metrics = {}
+        #: accumulated counters attached via :meth:`count`
+        self.counters = {}
+        #: child spans, in opening order
+        self.children = []
+        self._recorder = recorder
+        self._start = None
+
+    def __enter__(self):
+        self._start = time.perf_counter()
+        if self._recorder is not None:
+            self._recorder._push(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.duration = time.perf_counter() - self._start
+        if self._recorder is not None:
+            self._recorder._pop(self)
+        return False
+
+    def set(self, **metrics):
+        """Attach (or overwrite) point-in-time metrics on this span."""
+        self.metrics.update(metrics)
+        return self
+
+    def count(self, name, amount=1):
+        """Accumulate *amount* onto this span's counter *name*."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def find(self, name):
+        """First descendant span (depth-first) named *name*, or None."""
+        for child in self.children:
+            if child.name == name:
+                return child
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def to_dict(self):
+        """This span and its subtree as JSON-ready plain data."""
+        data = {"name": self.name, "seconds": self.duration}
+        if self.metrics:
+            data["metrics"] = dict(self.metrics)
+        if self.counters:
+            data["counters"] = dict(self.counters)
+        if self.children:
+            data["children"] = [child.to_dict() for child in self.children]
+        return data
+
+    def __repr__(self):
+        timing = "open" if self.duration is None else "%.6fs" % self.duration
+        return "<Span %s %s children=%d>" % (self.name, timing, len(self.children))
+
+
+class _NullSpan:
+    """Shared do-nothing span handed out by :class:`NullRecorder`."""
+
+    __slots__ = ()
+    name = None
+    duration = None
+    metrics = {}
+    counters = {}
+    children = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+    def set(self, **_metrics):
+        return self
+
+    def count(self, name, amount=1):
+        pass
+
+    def find(self, name):
+        return None
+
+    def to_dict(self):
+        return {"name": None, "seconds": None}
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Recorder:
+    """Collects a tree of :class:`Span` objects plus top-level counters.
+
+    One recorder observes one activity (a compile, a sweep, a report
+    build).  Spans opened while another span is active nest under it;
+    :attr:`spans` lists the roots.  Thread-unsafe by design: the
+    pipeline is single-threaded per process, and the parallel runner
+    keeps one recorder per worker.
+    """
+
+    enabled = True
+
+    def __init__(self):
+        #: root spans, in opening order
+        self.spans = []
+        #: counters recorded outside any span (or via :meth:`counter`)
+        self.counters = {}
+        self._stack = []
+
+    def span(self, name):
+        """A new :class:`Span` to be used as a context manager."""
+        return Span(name, recorder=self)
+
+    def counter(self, name, amount=1):
+        """Accumulate a counter on the innermost open span (or globally)."""
+        if self._stack:
+            self._stack[-1].count(name, amount)
+        else:
+            self.counters[name] = self.counters.get(name, 0) + amount
+
+    def find(self, name):
+        """First span named *name* anywhere in the recorded forest."""
+        for root in self.spans:
+            if root.name == name:
+                return root
+            found = root.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def walk(self):
+        """Yield ``(depth, span)`` pairs over the whole forest, pre-order."""
+        stack = [(0, span) for span in reversed(self.spans)]
+        while stack:
+            depth, span = stack.pop()
+            yield depth, span
+            stack.extend((depth + 1, child) for child in reversed(span.children))
+
+    def to_dict(self):
+        """The whole recording as JSON-ready plain data."""
+        data = {"spans": [span.to_dict() for span in self.spans]}
+        if self.counters:
+            data["counters"] = dict(self.counters)
+        return data
+
+    # ------------------------------------------------------------------
+    def _push(self, span):
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.spans.append(span)
+        self._stack.append(span)
+
+    def _pop(self, span):
+        if not self._stack or self._stack[-1] is not span:
+            raise RuntimeError(
+                "span %r closed out of order (stack: %s)"
+                % (span.name, [s.name for s in self._stack])
+            )
+        self._stack.pop()
+
+    def __repr__(self):
+        return "<Recorder spans=%d open=%d>" % (len(self.spans), len(self._stack))
+
+
+class NullRecorder:
+    """The disabled recorder: every operation is a no-op.
+
+    Instrumented code can unconditionally write
+    ``with observe.span("pass"): ...`` — against this recorder the span
+    is a shared singleton whose enter/exit do nothing, so the overhead
+    is one attribute lookup and one method call per region.
+    """
+
+    enabled = False
+    spans = ()
+    counters = {}
+
+    def span(self, name):
+        """The shared no-op span, regardless of *name*."""
+        return _NULL_SPAN
+
+    def counter(self, name, amount=1):
+        """Discard the count."""
+
+    def find(self, name):
+        """Nothing is ever recorded, so nothing is ever found."""
+        return None
+
+    def walk(self):
+        """An empty iteration."""
+        return iter(())
+
+    def to_dict(self):
+        """An empty recording as JSON-ready plain data."""
+        return {"spans": []}
+
+
+#: the shared disabled recorder instrumented code defaults to
+NULL_RECORDER = NullRecorder()

@@ -68,7 +68,17 @@ class GreedyPartitioner:
     def __init__(self, graph):
         self.graph = graph
 
-    def partition(self):
+    def partition(self, observe=None):
+        """Partition the graph; returns a :class:`PartitionResult`.
+
+        ``observe`` is an optional :class:`~repro.obs.core.Recorder`:
+        every accepted move bumps its ``moves`` counter and the cost
+        trajectory lands in the result's ``cost_trace`` either way —
+        the one debugging surface for the greedy descent (this replaces
+        any ad-hoc trace printing; render the trace from the result).
+        """
+        if observe is None:
+            from repro.obs.core import NULL_RECORDER as observe
         nodes = self.graph.nodes
         set_x = list(nodes)
         set_y = []
@@ -107,6 +117,7 @@ class GreedyPartitioner:
             in_y.add(best_node.name)
             cost += best_delta
             trace.append(cost)
+            observe.counter("moves")
             for neighbor_name, weight in self.graph.neighbors(best_node).items():
                 # The edge (best_node, neighbor) swapped sides for the
                 # neighbor's bookkeeping.

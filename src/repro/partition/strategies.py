@@ -118,13 +118,20 @@ def _tag_memory_ops(module):
             op.bank = op.symbol.bank
 
 
-def run_allocation(module, strategy, profile_counts=None, interrupt_safe=True):
+def run_allocation(module, strategy, profile_counts=None, interrupt_safe=True,
+                   observe=None):
     """Run the data-allocation pass over *module* under *strategy*.
 
     The module is mutated (symbol banks, memory-op tags, and — for the
     duplication strategies — rewritten stores), so each module instance
     may be allocated only once; build a fresh module per configuration.
+
+    ``observe`` is an optional :class:`~repro.obs.core.Recorder`; when
+    given, the graph build and the greedy partition each get a timed
+    span (``graph_build`` / ``partition``) with their headline metrics.
     """
+    if observe is None:
+        from repro.obs.core import NULL_RECORDER as observe
     if getattr(module, "_allocated", None) is not None:
         raise RuntimeError(
             "module %r was already allocated with %s; rebuild it before "
@@ -161,8 +168,21 @@ def run_allocation(module, strategy, profile_counts=None, interrupt_safe=True):
     else:
         weights = StaticDepthWeights()
 
-    graph = build_interference_graph(module, weights)
-    partition = GreedyPartitioner(graph).partition()
+    with observe.span("graph_build") as span:
+        graph = build_interference_graph(module, weights)
+        span.set(
+            nodes=len(graph),
+            edges=sum(1 for _edge in graph.edges()),
+            total_weight=graph.total_weight(),
+            duplication_candidates=len(graph.duplication_candidates),
+        )
+    with observe.span("partition") as span:
+        partition = GreedyPartitioner(graph).partition(observe=observe)
+        span.set(
+            initial_cost=partition.initial_cost,
+            final_cost=partition.final_cost,
+            moves=len(partition.cost_trace) - 1,
+        )
     for symbol in partition.set_x:
         symbol.bank = MemoryBank.X
     for symbol in partition.set_y:

@@ -21,6 +21,12 @@ and verified by ``tests/sim/test_fastsim_equivalence.py``:
 * the hardware-loop back-edge, the store-lock window (instruction-wide
   net transition), interrupt delivery, ``pc_counts``, cycle and operation
   accounting all match the reference backend exactly.
+
+Profiling (:mod:`repro.obs.profile`) is a post-run analysis over the
+settled ``pc_counts``, so the fused superblock path stays fused whether
+or not a run is later profiled: during the run only superblock leaders
+are counted, and ``_settle_counts`` propagates the interior counts
+before ``run()`` returns.
 """
 
 import math
@@ -605,9 +611,15 @@ BACKENDS = {"interp": Simulator, "fast": FastSimulator}
 def make_simulator(program, backend="interp", **kwargs):
     """Instantiate the simulator backend named *backend*.
 
-    ``interp`` is the reference per-cycle interpreter; ``fast`` is the
-    threaded-code backend.  Both honour the same constructor keywords and
-    produce identical :class:`SimulationResult` and memory state.
+    ``interp`` is the reference per-cycle
+    :class:`~repro.sim.simulator.Simulator`; ``fast`` is the
+    threaded-code :class:`FastSimulator`.  Both honour the same
+    constructor keywords (``stack_words``, ``max_cycles``,
+    ``interrupt_hook``, ``check_bounds``) and produce bit-identical
+    :class:`~repro.sim.simulator.SimulationResult`, per-pc counts, and
+    final machine state, so callers may switch freely.  Raises
+    :class:`ValueError` for an unknown backend name; :data:`BACKENDS`
+    lists the valid ones.
     """
     try:
         cls = BACKENDS[backend]

@@ -39,7 +39,9 @@ class SimulationResult:
         self.cycles = cycles
         #: total machine operations executed (incl. parallel ones)
         self.operations = operations
-        #: instruction index -> execution count (for profiling)
+        #: instruction index -> execution count.  One instruction costs
+        #: one cycle, so this is also the exact per-pc cycle attribution
+        #: the profiling layer (:mod:`repro.obs.profile`) reads.
         self.pc_counts = pc_counts
         #: peak stack usage in words, per bank
         self.stack_peak_x = stack_peak_x
@@ -164,6 +166,31 @@ class Simulator:
         for symbol in self.program.module.globals:
             if symbol.initializer:
                 self.write_global(symbol.name, symbol.initializer)
+
+    def state_digest(self):
+        """SHA-256 over the complete architectural state.
+
+        Covers both memory banks, all three register files, stack
+        pointers and their minima, pc, cycle, and the halt flag — two
+        runs are bit-identical iff their digests match.  Used by the
+        observability identity tests (profiled vs. unprofiled) and
+        available to any cross-backend comparison.
+        """
+        import hashlib
+
+        digest = hashlib.sha256()
+        for part in (
+            self.memory[_BANK_X],
+            self.memory[_BANK_Y],
+            self.registers[RegClass.ADDR],
+            self.registers[RegClass.INT],
+            self.registers[RegClass.FLOAT],
+            self.sp,
+            self.sp_min,
+            [self.pc, self.cycle, int(self.halted)],
+        ):
+            digest.update(repr(part).encode())
+        return digest.hexdigest()
 
     # ------------------------------------------------------------------
     # Decoding

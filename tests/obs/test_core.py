@@ -1,0 +1,119 @@
+"""The span/counter instrumentation core: nesting, timing, null path."""
+
+import json
+import time
+
+import pytest
+
+from repro.obs.core import NULL_RECORDER, NullRecorder, Recorder, Span
+
+
+def test_spans_nest_under_open_parent():
+    recorder = Recorder()
+    with recorder.span("outer"):
+        with recorder.span("inner") as inner:
+            inner.set(detail=1)
+        with recorder.span("sibling"):
+            pass
+    assert [s.name for s in recorder.spans] == ["outer"]
+    outer = recorder.spans[0]
+    assert [c.name for c in outer.children] == ["inner", "sibling"]
+    assert outer.children[0].metrics == {"detail": 1}
+    assert outer.children[0].children == []
+
+
+def test_span_durations_are_monotonic_and_contain_children():
+    recorder = Recorder()
+    with recorder.span("outer"):
+        with recorder.span("inner"):
+            time.sleep(0.005)
+    outer = recorder.spans[0]
+    inner = outer.children[0]
+    assert inner.duration >= 0.005
+    # The parent was open the whole time the child ran.
+    assert outer.duration >= inner.duration
+
+
+def test_duration_none_while_open():
+    recorder = Recorder()
+    with recorder.span("outer") as span:
+        assert span.duration is None
+    assert span.duration is not None
+
+
+def test_counters_attach_to_innermost_open_span():
+    recorder = Recorder()
+    recorder.counter("global_events", 2)
+    with recorder.span("outer"):
+        recorder.counter("moves")
+        with recorder.span("inner"):
+            recorder.counter("moves", 3)
+    assert recorder.counters == {"global_events": 2}
+    outer = recorder.spans[0]
+    assert outer.counters == {"moves": 1}
+    assert outer.children[0].counters == {"moves": 3}
+
+
+def test_find_and_walk():
+    recorder = Recorder()
+    with recorder.span("a"):
+        with recorder.span("b"):
+            with recorder.span("c"):
+                pass
+    with recorder.span("d"):
+        pass
+    assert recorder.find("c").name == "c"
+    assert recorder.find("missing") is None
+    assert recorder.spans[0].find("b").name == "b"
+    assert [(d, s.name) for d, s in recorder.walk()] == [
+        (0, "a"), (1, "b"), (2, "c"), (0, "d"),
+    ]
+
+
+def test_out_of_order_close_is_an_error():
+    recorder = Recorder()
+    outer = recorder.span("outer")
+    inner = recorder.span("inner")
+    outer.__enter__()
+    inner.__enter__()
+    with pytest.raises(RuntimeError):
+        outer.__exit__(None, None, None)
+
+
+def test_to_dict_is_json_ready():
+    recorder = Recorder()
+    with recorder.span("compile") as span:
+        span.set(instructions=7, fill_rate=0.25)
+        recorder.counter("moves")
+    recorder.counter("top_level")
+    data = recorder.to_dict()
+    round_tripped = json.loads(json.dumps(data))
+    assert round_tripped["spans"][0]["name"] == "compile"
+    assert round_tripped["spans"][0]["metrics"]["instructions"] == 7
+    assert round_tripped["spans"][0]["counters"] == {"moves": 1}
+    assert round_tripped["counters"] == {"top_level": 1}
+    assert round_tripped["spans"][0]["seconds"] >= 0
+
+
+def test_null_recorder_records_nothing():
+    assert isinstance(NULL_RECORDER, NullRecorder)
+    assert not NULL_RECORDER.enabled
+    span = NULL_RECORDER.span("anything")
+    # One shared no-op span: no allocation per call site.
+    assert NULL_RECORDER.span("other") is span
+    with span as entered:
+        entered.set(ignored=1)
+        entered.count("ignored")
+        NULL_RECORDER.counter("ignored")
+    assert NULL_RECORDER.spans == ()
+    assert NULL_RECORDER.counters == {}
+    assert NULL_RECORDER.find("anything") is None
+    assert list(NULL_RECORDER.walk()) == []
+    assert NULL_RECORDER.to_dict() == {"spans": []}
+
+
+def test_real_recorder_is_enabled_and_spans_are_distinct():
+    recorder = Recorder()
+    assert recorder.enabled
+    assert recorder.span("a") is not recorder.span("a")
+    assert isinstance(recorder.span("a"), Span)

@@ -1,0 +1,166 @@
+"""Run profiles: hot pcs, bank histograms, and the conflict ledger.
+
+The load-bearing property checked here is the correspondence between the
+*dynamic* conflict ledger (serialized memory pairs observed in the
+schedule, weighted by execution counts) and the *static* interference
+edges the CB partitioner derives: a conflict the ledger attributes to a
+variable pair is precisely the kind of edge ``build_interference_graph``
+records, and giving the partitioner the chance to cut that edge removes
+the ledger entry.
+"""
+
+from repro.compiler import compile_module
+from repro.frontend import ProgramBuilder
+from repro.obs.profile import ConflictEntry, profile_run
+from repro.partition.graph_builder import build_interference_graph
+from repro.partition.strategies import Strategy
+from repro.sim.simulator import Simulator
+
+
+def _run(module, strategy):
+    compiled = compile_module(module, strategy=strategy)
+    simulator = Simulator(compiled.program)
+    result = simulator.run()
+    return compiled, result, profile_run(compiled.program, result)
+
+
+def _autocorr_module(frame=12, lags=4):
+    """The paper's Figure-6 shape: signal[n] * signal[n + m]."""
+    pb = ProgramBuilder("autocorr")
+    signal = pb.global_array(
+        "signal", frame + lags, float,
+        init=[float(i % 7) for i in range(frame + lags)],
+    )
+    r = pb.global_array("R", lags, float)
+    with pb.function("main") as f:
+        with f.loop(lags, name="m") as m:
+            acc = f.float_var("acc")
+            f.assign(acc, 0.0)
+            with f.loop(frame, name="n") as n:
+                f.assign(acc, acc + signal[n] * signal[n + m])
+            f.assign(r[m], acc)
+    return pb.build()
+
+
+def test_hot_pcs_account_for_every_cycle(dot_product_module):
+    _compiled, result, profile = _run(dot_product_module(), Strategy.CB)
+    rows = profile.hot_pcs(n=len(result.pc_counts))
+    assert sum(row["cycles"] for row in rows) == result.cycles
+    assert abs(sum(row["share"] for row in rows) - 1.0) < 1e-9
+    # Ranked by cycles, heaviest first; the hottest pc is loop-resident.
+    cycles = [row["cycles"] for row in rows]
+    assert cycles == sorted(cycles, reverse=True)
+    assert rows[0]["cycles"] == max(result.pc_counts)
+    assert profile.hot_pcs(n=0) == []
+    assert len(profile.hot_pcs(n=3)) == 3
+    for row in rows:
+        assert row["block"] is not None
+        assert row["text"]
+
+
+def test_bank_histogram_single_bank_never_touches_y(dot_product_module):
+    _compiled, _result, profile = _run(
+        dot_product_module(), Strategy.SINGLE_BANK
+    )
+    banks = profile.bank_accesses()
+    assert banks["Y"] == {"loads": 0, "stores": 0}
+    # The 16-iteration loop loads A[i] and B[i] each time.
+    assert banks["X"]["loads"] >= 32
+    assert banks["X"]["stores"] >= 1
+
+
+def test_bank_histogram_cb_splits_traffic(dot_product_module):
+    _compiled, _result, profile = _run(dot_product_module(), Strategy.CB)
+    banks = profile.bank_accesses()
+    assert banks["X"]["loads"] + banks["X"]["stores"] > 0
+    assert banks["Y"]["loads"] + banks["Y"]["stores"] > 0
+
+
+def test_ledger_matches_interference_edges(dot_product_module):
+    """Cross-variable ledger pairs are interference-graph edges, and the
+    graph's heaviest edge shows up as a conflict under SINGLE_BANK."""
+    _compiled, _result, profile = _run(
+        dot_product_module(), Strategy.SINGLE_BANK
+    )
+    ledger = profile.conflicts()
+    assert ledger, "single-bank dot product must serialize A/B accesses"
+
+    graph = build_interference_graph(dot_product_module())
+    edges = {
+        tuple(sorted((a.name, b.name))) for a, b, _w in graph.edges()
+    }
+    cross = [e for e in ledger if not e.same_variable]
+    assert cross, "expected cross-variable conflicts"
+    for entry in cross:
+        assert (entry.var_a, entry.var_b) in edges
+        assert entry.bank == "X"
+        assert entry.cycles > 0
+        assert entry.events == len(entry.pcs)
+        for earlier, later in entry.pcs:
+            assert earlier < later
+
+    heaviest = max(graph.edges(), key=lambda edge: edge[2])
+    heaviest_pair = tuple(sorted((heaviest[0].name, heaviest[1].name)))
+    assert heaviest_pair in {(e.var_a, e.var_b) for e in cross}
+
+
+def test_cb_removes_the_cross_variable_conflict(dot_product_module):
+    _compiled, base_result, base_profile = _run(
+        dot_product_module(), Strategy.SINGLE_BANK
+    )
+    _compiled, cb_result, cb_profile = _run(dot_product_module(), Strategy.CB)
+    base_pairs = {
+        (e.var_a, e.var_b) for e in base_profile.conflicts()
+        if not e.same_variable
+    }
+    cb_pairs = {
+        (e.var_a, e.var_b) for e in cb_profile.conflicts()
+        if not e.same_variable
+    }
+    assert ("A", "B") in base_pairs
+    assert ("A", "B") not in cb_pairs
+    assert cb_profile.conflict_cycles() < base_profile.conflict_cycles()
+    assert cb_result.cycles < base_result.cycles
+
+
+def test_same_variable_conflicts_are_duplication_candidates():
+    """The autocorrelation kernel's signal-vs-signal serialization is a
+    same-variable ledger entry, mirroring the graph's duplication
+    candidate — and duplication actually removes it."""
+    _compiled, _result, cb_profile = _run(_autocorr_module(), Strategy.CB)
+    same = [e for e in cb_profile.conflicts() if e.same_variable]
+    assert any(e.var_a == "signal" for e in same)
+
+    graph = build_interference_graph(_autocorr_module())
+    candidates = {s.name for s in graph.duplication_candidates}
+    assert "signal" in candidates
+
+    compiled, _result, dup_profile = _run(
+        _autocorr_module(), Strategy.CB_DUP
+    )
+    assert "signal" in {s.name for s in compiled.allocation.duplicated}
+    dup_same = {
+        e.var_a for e in dup_profile.conflicts() if e.same_variable
+    }
+    assert "signal" not in dup_same
+
+
+def test_profile_to_dict_is_json_ready(dot_product_module):
+    import json
+
+    _compiled, result, profile = _run(dot_product_module(), Strategy.CB)
+    data = json.loads(json.dumps(profile.to_dict(top=5)))
+    assert data["cycles"] == result.cycles
+    assert len(data["hot_pcs"]) <= 5
+    assert set(data["bank_accesses"]) == {"X", "Y"}
+    assert data["conflict_cycles"] == sum(
+        entry["cycles"] for entry in data["conflicts"]
+    )
+
+
+def test_conflict_entry_shape():
+    entry = ConflictEntry("a", "b", "X")
+    assert not entry.same_variable
+    assert ConflictEntry("a", "a", "Y").same_variable
+    d = entry.to_dict()
+    assert d["var_a"] == "a" and d["bank"] == "X" and d["cycles"] == 0

@@ -139,6 +139,45 @@ def test_fuzz_archives_failures(capsys, tmp_path, monkeypatch):
     assert glob.glob(corpus + "/test_regression_*.py")
 
 
+def test_report_workload_emits_observability_markdown(capsys):
+    assert main(["report", "--workload", "fir_32_1", "--strategy", "CB"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("# Observability report — fir_32_1")
+    assert "Compile passes" in out
+    assert "Hot pcs" in out
+    assert "Bank-conflict table" in out
+    # Machine-readable payload rides along in the same emission.
+    assert "```json" in out
+
+
+def test_report_workload_writes_json_file(capsys, tmp_path):
+    import json
+
+    path = str(tmp_path / "report.json")
+    assert (
+        main(
+            [
+                "report", "--workload", "fir_32_1", "--strategy", "CB",
+                "--baseline", "SINGLE_BANK", "--top", "3", "--json", path,
+            ]
+        )
+        == 0
+    )
+    with open(path) as handle:
+        report = json.load(handle)
+    assert report["workload"] == "fir_32_1"
+    assert report["strategy"]["strategy"] == "CB"
+    assert report["deltas"]["gain_percent"] > 0
+    assert len(report["strategy"]["profile"]["hot_pcs"]) <= 3
+
+
+def test_report_workload_rejects_unknown_names():
+    with pytest.raises(SystemExit):
+        main(["report", "--workload", "nonexistent"])
+    with pytest.raises(SystemExit):
+        main(["report", "--workload", "fir_32_1", "--strategy", "BOGUS"])
+
+
 def test_graph_command_produces_dot(capsys):
     assert main(["graph", "fir_32_1"]) == 0
     out = capsys.readouterr().out

@@ -1,0 +1,93 @@
+"""Documentation hygiene: every relative link and referenced path in
+README.md and docs/*.md must point at something that exists.
+
+Two kinds of references are checked:
+
+* markdown links ``[text](target)`` whose target is not an absolute URL
+  or in-page fragment — resolved against the linking file's directory
+  and the repo root;
+* backtick path references like ``src/repro/obs/core.py`` or
+  ``docs/observability.md`` — inline code that *looks like* a repo path
+  (contains a ``/`` and a known extension, or starts with a known
+  top-level directory) must exist, so renamed modules can't leave the
+  docs silently pointing at nothing.
+"""
+
+import os
+import re
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+LINK = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
+CODE_REF = re.compile(r"`([A-Za-z0-9_./-]+)`")
+PATH_EXTENSIONS = (".py", ".md", ".txt", ".json", ".toml", ".cfg", ".ini")
+TOP_DIRS = ("src/", "docs/", "tests/", "examples/", "benchmarks/")
+
+
+def _markdown_files():
+    files = [os.path.join(REPO_ROOT, "README.md")]
+    docs = os.path.join(REPO_ROOT, "docs")
+    if os.path.isdir(docs):
+        for name in sorted(os.listdir(docs)):
+            if name.endswith(".md"):
+                files.append(os.path.join(docs, name))
+    return files
+
+
+def _strip_fenced_code(text):
+    """Fenced blocks hold example output, not navigable references."""
+    return re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+
+
+def _exists(target, base_dir):
+    candidates = [
+        os.path.normpath(os.path.join(base_dir, target)),
+        os.path.normpath(os.path.join(REPO_ROOT, target)),
+        # Module paths are conventionally given relative to the package.
+        os.path.normpath(os.path.join(REPO_ROOT, "src", "repro", target)),
+    ]
+    return any(os.path.exists(c) for c in candidates)
+
+
+@pytest.mark.parametrize(
+    "path", _markdown_files(), ids=lambda p: os.path.relpath(p, REPO_ROOT)
+)
+def test_relative_links_resolve(path):
+    text = open(path).read()
+    base_dir = os.path.dirname(path)
+    broken = []
+    for match in LINK.finditer(_strip_fenced_code(text)):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        target = target.split("#", 1)[0]
+        if not target:
+            continue
+        if not _exists(target, base_dir):
+            broken.append(target)
+    assert not broken, "%s: broken links %s" % (
+        os.path.relpath(path, REPO_ROOT), broken
+    )
+
+
+@pytest.mark.parametrize(
+    "path", _markdown_files(), ids=lambda p: os.path.relpath(p, REPO_ROOT)
+)
+def test_referenced_paths_exist(path):
+    text = _strip_fenced_code(open(path).read())
+    base_dir = os.path.dirname(path)
+    missing = []
+    for match in CODE_REF.finditer(text):
+        ref = match.group(1)
+        looks_like_path = ref.startswith(TOP_DIRS) or (
+            "/" in ref and ref.endswith(PATH_EXTENSIONS)
+        )
+        if not looks_like_path:
+            continue
+        if not _exists(ref, base_dir):
+            missing.append(ref)
+    assert not missing, "%s: referenced paths missing %s" % (
+        os.path.relpath(path, REPO_ROOT), missing
+    )
