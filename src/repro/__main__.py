@@ -19,7 +19,7 @@ report [--workload W --strategy S --baseline B --top N --json PATH]
     the JSON document to a file, "-" for stdout).
 fuzz [--runs N] [--seed S] [--jobs J]
     Differential fuzzing: random programs through every allocation
-    strategy and both simulator backends; failures are shrunk and
+    strategy and every simulator backend; failures are shrunk and
     archived under tests/fuzz_corpus/.
 """
 
@@ -35,11 +35,22 @@ from repro.sim.tracing import collect_block_counts
 
 
 def _jobs(args):
-    """Resolve --jobs: None = serial, 0 = all cores, N = at most N
-    workers (capped at the machine's core count)."""
+    """Resolve --jobs: None = serial, 0 = all cores, N = exactly N
+    workers — an explicit request is honoured even past the detected
+    core count, with the decision surfaced instead of silently clamped."""
     from repro.evaluation.parallel import resolve_jobs
+    from repro.obs.core import Recorder
 
-    return resolve_jobs(getattr(args, "jobs", None))
+    recorder = Recorder()
+    resolved = resolve_jobs(getattr(args, "jobs", None), observe=recorder)
+    if recorder.counters.get("jobs.oversubscribed"):
+        print(
+            "note: --jobs %d exceeds the %d detected core(s); honouring "
+            "the explicit request"
+            % (resolved, recorder.counters["jobs.cores"]),
+            file=sys.stderr,
+        )
+    return resolved
 
 
 def _strategy(name):
@@ -249,7 +260,8 @@ def build_parser():
             "--backend",
             default="interp",
             choices=sorted(BACKENDS),
-            help="simulator backend: reference interpreter or threaded code",
+            help="simulator backend: reference interpreter, threaded code, "
+            "or loop-specializing codegen",
         )
 
     def nonnegative_int(text):
@@ -264,8 +276,8 @@ def build_parser():
             type=nonnegative_int,
             default=None,
             metavar="N",
-            help="fan evaluations out over up to N worker processes "
-            "(0 = all cores; capped at the core count)",
+            help="fan evaluations out over exactly N worker processes "
+            "(0 = all cores; explicit counts are honoured as given)",
         )
 
     sub.add_parser("list", help="list all workloads").set_defaults(func=cmd_list)

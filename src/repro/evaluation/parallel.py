@@ -26,6 +26,7 @@ from repro.evaluation.runner import (
     _run_once,
     evaluate_workload,
 )
+from repro.obs.core import NULL_RECORDER
 from repro.partition.strategies import Strategy
 from repro.sim.tracing import collect_block_counts
 
@@ -38,22 +39,30 @@ def default_jobs():
     return os.cpu_count() or 1
 
 
-def resolve_jobs(jobs):
+def resolve_jobs(jobs, observe=NULL_RECORDER):
     """Resolve a user-facing ``--jobs`` value to a worker count.
 
-    ``None`` stays serial, ``0`` means "all cores", and explicit counts
-    are capped at the machine's core count — the pipelines are CPU-bound,
-    so workers beyond that only add process overhead.  Library callers
-    that need an exact pool size (e.g. tests) pass it straight to
-    :func:`evaluate_workloads` instead.
+    ``None`` stays serial, ``0`` means "all cores", and an explicit
+    count is honoured exactly — a user who types ``--jobs 4`` gets four
+    workers even on a smaller machine (the pipelines are CPU-bound, so
+    that oversubscribes; the decision is theirs).  The resolution is
+    recorded on *observe* instead of silently adjusting anything:
+    ``jobs.requested``/``jobs.resolved`` always, ``jobs.cores`` and
+    ``jobs.oversubscribed`` when an explicit request exceeds the
+    detected core count.
     """
     if jobs is None:
         return None
     if jobs < 0:
         raise ValueError("jobs must be >= 0, got %d" % jobs)
-    if jobs == 0:
-        return default_jobs()
-    return min(jobs, default_jobs())
+    cores = default_jobs()
+    resolved = cores if jobs == 0 else jobs
+    observe.counter("jobs.requested", jobs)
+    observe.counter("jobs.resolved", resolved)
+    if jobs > cores:
+        observe.counter("jobs.cores", cores)
+        observe.counter("jobs.oversubscribed", resolved - cores)
+    return resolved
 
 
 def _profile_counts(workload, backend, cache):

@@ -154,8 +154,8 @@ def evaluate_workload(workload, strategies, verify=True, backend="interp",
                       cache=None):
     """Measure *workload* under *strategies* (baseline always included).
 
-    ``backend`` selects the simulator backend (``interp`` or ``fast``,
-    see :mod:`repro.sim.fastsim`); ``cache`` is an optional dict used as a
+    ``backend`` selects the simulator backend (``interp``, ``fast``, or
+    ``jit`` — see :mod:`repro.sim.fastsim`); ``cache`` is an optional dict used as a
     content-keyed compiled-program cache shared across evaluations.
     """
     measurements = {}

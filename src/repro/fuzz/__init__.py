@@ -15,7 +15,7 @@ This package guards both generatively instead of by hand-picked cases:
     calls, local/global arrays, duplicated-array store patterns,
     interrupt toggling);
 :mod:`repro.fuzz.oracle`
-    compiles each recipe under every strategy x both backends and checks
+    compiles each recipe under every strategy x every backend and checks
     result equality, cycle ordering, and duplicated-copy coherence;
 :mod:`repro.fuzz.shrink`
     recipe-level delta debugging that minimizes a failing case and emits

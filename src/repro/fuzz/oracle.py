@@ -1,4 +1,4 @@
-"""The differential oracle: one recipe, every strategy, both backends.
+"""The differential oracle: one recipe, every strategy, every backend.
 
 For each generated module the oracle checks, in order:
 
@@ -10,9 +10,12 @@ For each generated module the oracle checks, in order:
    equals what the sequential IR walker (:class:`IRInterpreter`, the
    strategy-free reference) computes.
 3. **Backend bit-identity** — for each strategy, the threaded-code
-   backend must match the reference interpreter exactly: cycles,
-   operation total, per-pc execution counts, stack peaks, final memory
-   and register files.
+   and loop-specializing backends must match the reference interpreter
+   exactly: cycles, operation total, per-pc execution counts, stack
+   peaks, final memory and register files.  Recipes with an
+   ``interrupt_period`` install a cadence-advertising
+   :class:`InterruptInjector`, so the ``jit`` backend's chunked loop
+   path (deliveries landing mid-loop) is exercised differentially.
 4. **Duplication coherence** — after every run, both bank copies of
    every duplicated symbol are identical; when the recipe installs an
    interrupt hook, the :class:`InterruptInjector` additionally checks
@@ -45,8 +48,8 @@ ORACLE_STRATEGIES = (
     Strategy.IDEAL,
 )
 
-#: both simulator backends, checked against each other per strategy
-ORACLE_BACKENDS = ("interp", "fast")
+#: every simulator backend, checked against each other per strategy
+ORACLE_BACKENDS = ("interp", "fast", "jit")
 
 
 class OracleViolation(AssertionError):

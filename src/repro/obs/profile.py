@@ -225,7 +225,7 @@ def profile_run(program, result):
     """Profile one finished run; returns a :class:`RunProfile`.
 
     *program* is the executed :class:`MachineProgram`; *result* the
-    :class:`SimulationResult` either backend returned.  Purely
+    :class:`SimulationResult` any backend returned.  Purely
     read-only: neither argument is mutated, so profiling never perturbs
     the run it describes.
     """

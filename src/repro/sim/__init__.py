@@ -10,6 +10,7 @@ validating the store-lock/store-unlock protocol on duplicated data.
 
 from repro.sim.simulator import SimulationError, SimulationResult, Simulator
 from repro.sim.fastsim import BACKENDS, FastSimulator, make_simulator
+from repro.sim.loopjit import LoopJitSimulator
 from repro.sim.tracing import collect_block_counts, profile_module
 from repro.sim.interrupts import InterruptInjector
 from repro.sim.statistics import UtilizationReport, utilization
@@ -18,6 +19,7 @@ __all__ = [
     "BACKENDS",
     "FastSimulator",
     "InterruptInjector",
+    "LoopJitSimulator",
     "SimulationError",
     "SimulationResult",
     "Simulator",

@@ -47,7 +47,9 @@ _RFILE = {RegClass.ADDR: "RA", RegClass.INT: "RI", RegClass.FLOAT: "RF"}
 
 _MEM = {_BANK_X: "MX", _BANK_Y: "MY"}
 
-#: parameter list shared by every generated step factory
+#: parameter list shared by every generated step factory; subclasses
+#: extend :attr:`FastSimulator._FIXED` and :meth:`FastSimulator._fixed_args`
+#: in lockstep to thread extra state into their generated code
 _FIXED_PARAMS = "SIM, RA, RI, RF, MX, MY, SP, LS"
 
 #: opcodes whose evaluators are inlined as expressions (the hot set);
@@ -132,6 +134,9 @@ class _CodeBuilder:
         self.params = []
         self.args = []
         self.counter = 0
+        #: optional ``"RA[3]" -> "pa3"`` map; when set, register (and
+        #: stack-pointer) references resolve to promoted local names
+        self.promoted = None
 
     def temp(self):
         self.counter += 1
@@ -201,9 +206,33 @@ class FastSimulator(Simulator):
                     break
         return sorted(p for p in leaders if 0 <= p < count)
 
+    #: generated-code parameter list; kept in lockstep with _fixed_args
+    _FIXED = _FIXED_PARAMS
+
+    def _fixed_args(self):
+        """Values bound to :attr:`_FIXED` when closures are instantiated."""
+        registers = self.registers
+        return (
+            self,
+            registers[RegClass.ADDR],
+            registers[RegClass.INT],
+            registers[RegClass.FLOAT],
+            self.memory[_BANK_X],
+            self.memory[_BANK_Y],
+            self.sp,
+            self.loop_stack,
+        )
+
     # ------------------------------------------------------------------
     # Code generation
     # ------------------------------------------------------------------
+    def _reg_ref(self, rclass, physical, cb):
+        """Expression for one register slot, honouring promotion."""
+        ref = "%s[%d]" % (_RFILE[rclass], physical)
+        if cb.promoted is not None:
+            return cb.promoted.get(ref, ref)
+        return ref
+
     def _operand_expr(self, operand, cb):
         if isinstance(operand, Immediate):
             value = operand.value
@@ -216,7 +245,7 @@ class FastSimulator(Simulator):
             raise SimulationError(
                 "unallocated register %r reached the simulator" % operand
             )
-        return "%s[%d]" % (_RFILE[operand.rclass], operand.physical)
+        return self._reg_ref(operand.rclass, operand.physical, cb)
 
     def _index_expr(self, op, cb):
         """Expression for the effective index: base plus optional offset."""
@@ -240,7 +269,10 @@ class FastSimulator(Simulator):
         if base is not None:
             address = "(%d + %s)" % (base, index)
         else:
-            address = "(SP[%d] + %d + %s)" % (bank_index, frame_offset, index)
+            sp_ref = "SP[%d]" % bank_index
+            if cb.promoted is not None:
+                sp_ref = cb.promoted.get(sp_ref, sp_ref)
+            address = "(%s + %d + %s)" % (sp_ref, frame_offset, index)
         return _MEM[bank_index], address
 
     def _fault_oob(self, index, name, size, pc):
@@ -356,8 +388,8 @@ class FastSimulator(Simulator):
                 value = cb.temp()
                 cb.reads.append("%s = %s[%s]" % (value, mem, address))
                 cb.writes.append(
-                    "%s[%d] = %s"
-                    % (_RFILE[op.dest.rclass], op.dest.physical, value)
+                    "%s = %s"
+                    % (self._reg_ref(op.dest.rclass, op.dest.physical, cb), value)
                 )
             elif opcode is OpCode.STORE:
                 mem, address = self._address_expr(op, pc, cb)
@@ -370,16 +402,17 @@ class FastSimulator(Simulator):
                 cb.writes.append("%s[%s] = %s" % (mem, slot, value))
             elif opcode is OpCode.FMAC:
                 value = cb.temp()
+                dest = self._reg_ref(op.dest.rclass, op.dest.physical, cb)
                 cb.reads.append(
-                    "%s = RF[%d] + %s * %s"
+                    "%s = %s + %s * %s"
                     % (
                         value,
-                        op.dest.physical,
+                        dest,
                         self._operand_expr(op.sources[0], cb),
                         self._operand_expr(op.sources[1], cb),
                     )
                 )
-                cb.writes.append("RF[%d] = %s" % (op.dest.physical, value))
+                cb.writes.append("%s = %s" % (dest, value))
             elif info.kind.value == "control":
                 control_op = op
             else:
@@ -394,8 +427,8 @@ class FastSimulator(Simulator):
                 value = cb.temp()
                 cb.reads.append("%s = %s" % (value, expr))
                 cb.writes.append(
-                    "%s[%d] = %s"
-                    % (_RFILE[op.dest.rclass], op.dest.physical, value)
+                    "%s = %s"
+                    % (self._reg_ref(op.dest.rclass, op.dest.physical, cb), value)
                 )
 
         if lock_transition is not None:
@@ -409,29 +442,41 @@ class FastSimulator(Simulator):
         that would otherwise dominate per-instruction compilation; the
         returned dict maps each key in *bindings* to its bound closure.
         """
+        code = compile("\n".join(pieces), "<fastsim>", "exec")
+        return self._exec_code(code, bindings)
+
+    def _exec_code(self, code, bindings):
+        """Bind a compiled factory batch to *this* simulator's state."""
         namespace = {}
-        exec(compile("\n".join(pieces), "<fastsim>", "exec"), namespace)
-        registers = self.registers
-        fixed_args = (
-            self,
-            registers[RegClass.ADDR],
-            registers[RegClass.INT],
-            registers[RegClass.FLOAT],
-            self.memory[_BANK_X],
-            self.memory[_BANK_Y],
-            self.sp,
-            self.loop_stack,
-        )
+        exec(code, namespace)
+        fixed_args = self._fixed_args()
         return {
             key: namespace["_make_%s" % key](*fixed_args, *args)
             for key, args in bindings
         }
 
-    @staticmethod
-    def _factory(key, cb):
-        params = _FIXED_PARAMS
+    def _codegen_cache(self):
+        """Per-program cache of compiled factory batches.
+
+        Generated source depends only on the program (plus, for
+        subclasses, constants like ``max_cycles`` that cache keys must
+        include), while the *closures* bind per-simulator state — so
+        the parse/compile work is shared across every simulator of the
+        same program and only the cheap ``exec``/bind step runs per
+        instance.  The cache lives on the program object and is
+        collected with it.
+        """
+        cache = getattr(self.program, "_codegen_cache", None)
+        if cache is None:
+            cache = {}
+            self.program._codegen_cache = cache
+        return cache
+
+    @classmethod
+    def _factory(cls, key, cb):
+        params = cls._FIXED
         if cb.params:
-            params = "%s, %s" % (_FIXED_PARAMS, ", ".join(cb.params))
+            params = "%s, %s" % (params, ", ".join(cb.params))
         return "def _make_%s(%s):\n    def step():\n%s\n    return step\n" % (
             key,
             params,
@@ -441,20 +486,29 @@ class FastSimulator(Simulator):
     def _compile_steps(self):
         """Per-instruction step table (used when an interrupt hook needs
         control between every cycle)."""
-        pieces = []
-        bindings = []
-        widths = self._op_widths
-        for pc in range(len(self.program.instructions)):
-            cb = _CodeBuilder()
-            control_op, width = self._instruction_body(pc, cb)
-            if control_op is not None:
-                self._emit_control(control_op, pc, cb)
-            else:
-                self._emit_fallthrough(pc, cb)
-            pieces.append(self._factory(pc, cb))
-            bindings.append((pc, cb.args))
-            widths[pc] = width
-        closures = self._exec_batch(pieces, bindings)
+        cache = self._codegen_cache()
+        key = (type(self).__qualname__, "steps")
+        entry = cache.get(key)
+        if entry is None:
+            pieces = []
+            bindings = []
+            widths = [0] * len(self.program.instructions)
+            for pc in range(len(self.program.instructions)):
+                cb = _CodeBuilder()
+                control_op, width = self._instruction_body(pc, cb)
+                if control_op is not None:
+                    self._emit_control(control_op, pc, cb)
+                else:
+                    self._emit_fallthrough(pc, cb)
+                pieces.append(self._factory(pc, cb))
+                bindings.append((pc, cb.args))
+                widths[pc] = width
+            code = compile("\n".join(pieces), "<fastsim>", "exec")
+            entry = (code, bindings, tuple(widths))
+            cache[key] = entry
+        code, bindings, widths = entry
+        self._op_widths = list(widths)
+        closures = self._exec_code(code, bindings)
         self._steps = [closures[pc] for pc in range(len(closures))]
 
     def _compile_blocks(self):
@@ -467,33 +521,42 @@ class FastSimulator(Simulator):
         cycle check per *block* instead of per cycle.
         """
         count = len(self.program.instructions)
-        leaders = self._leaders()
+        cache = self._codegen_cache()
+        key = (type(self).__qualname__, "blocks")
+        entry = cache.get(key)
+        if entry is None:
+            leaders = self._leaders()
+            lens = [0] * count
+            members = {}
+            pieces = []
+            bindings = []
+            widths = [0] * count
+            boundaries = leaders[1:] + [count]
+            for leader, bound in zip(leaders, boundaries):
+                cb = _CodeBuilder()
+                control_op = None
+                for pc in range(leader, bound):
+                    if pc > leader:
+                        cb.flush()
+                    control_op, width = self._instruction_body(pc, cb)
+                    widths[pc] = width
+                last = bound - 1
+                if control_op is not None:
+                    self._emit_control(control_op, last, cb)
+                else:
+                    self._emit_fallthrough(last, cb)
+                pieces.append(self._factory(leader, cb))
+                bindings.append((leader, cb.args))
+                lens[leader] = bound - leader
+                members[leader] = tuple(range(leader, bound))
+            code = compile("\n".join(pieces), "<fastsim>", "exec")
+            entry = (code, bindings, tuple(lens), members, tuple(widths))
+            cache[key] = entry
+        code, bindings, lens, members, widths = entry
+        self._op_widths = list(widths)
+        closures = self._exec_code(code, bindings)
         blocks = [None] * count
-        lens = [0] * count
-        members = {}
-        pieces = []
-        bindings = []
-        widths = self._op_widths
-        boundaries = leaders[1:] + [count]
-        for leader, bound in zip(leaders, boundaries):
-            cb = _CodeBuilder()
-            control_op = None
-            for pc in range(leader, bound):
-                if pc > leader:
-                    cb.flush()
-                control_op, width = self._instruction_body(pc, cb)
-                widths[pc] = width
-            last = bound - 1
-            if control_op is not None:
-                self._emit_control(control_op, last, cb)
-            else:
-                self._emit_fallthrough(last, cb)
-            pieces.append(self._factory(leader, cb))
-            bindings.append((leader, cb.args))
-            lens[leader] = bound - leader
-            members[leader] = list(range(leader, bound))
-        closures = self._exec_batch(pieces, bindings)
-        for leader in leaders:
+        for leader, _args in bindings:
             blocks[leader] = closures[leader]
         self._blocks = blocks
         self._block_lens = lens
@@ -604,7 +667,7 @@ class FastSimulator(Simulator):
         )
 
 
-#: backend name -> simulator class
+#: backend name -> simulator class (``jit`` self-registers on import below)
 BACKENDS = {"interp": Simulator, "fast": FastSimulator}
 
 
@@ -613,13 +676,14 @@ def make_simulator(program, backend="interp", **kwargs):
 
     ``interp`` is the reference per-cycle
     :class:`~repro.sim.simulator.Simulator`; ``fast`` is the
-    threaded-code :class:`FastSimulator`.  Both honour the same
-    constructor keywords (``stack_words``, ``max_cycles``,
-    ``interrupt_hook``, ``check_bounds``) and produce bit-identical
-    :class:`~repro.sim.simulator.SimulationResult`, per-pc counts, and
-    final machine state, so callers may switch freely.  Raises
-    :class:`ValueError` for an unknown backend name; :data:`BACKENDS`
-    lists the valid ones.
+    threaded-code :class:`FastSimulator`; ``jit`` is the
+    loop-specializing :class:`~repro.sim.loopjit.LoopJitSimulator`.
+    All honour the same constructor keywords (``stack_words``,
+    ``max_cycles``, ``interrupt_hook``, ``check_bounds``) and produce
+    bit-identical :class:`~repro.sim.simulator.SimulationResult`, per-pc
+    counts, and final machine state, so callers may switch freely.
+    Raises :class:`ValueError` for an unknown backend name;
+    :data:`BACKENDS` lists the valid ones.
     """
     try:
         cls = BACKENDS[backend]
@@ -629,3 +693,9 @@ def make_simulator(program, backend="interp", **kwargs):
             % (backend, ", ".join(sorted(BACKENDS)))
         )
     return cls(program, **kwargs)
+
+
+# Imported for its side effect: repro.sim.loopjit adds "jit" to BACKENDS.
+# A plain (not from-) import keeps the circular dependency benign no
+# matter which of the two modules is imported first.
+import repro.sim.loopjit  # noqa: E402,F401

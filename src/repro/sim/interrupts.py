@@ -11,6 +11,17 @@ simulator refuses to deliver interrupts while the lock window is open.
 delivery, checks that every duplicated global's X and Y copies agree —
 and can optionally *write* to a duplicated global through both copies,
 modelling an interrupt handler that feeds external data to the program.
+
+Cadence protocol (used by the ``jit`` backend, see
+:mod:`repro.sim.loopjit`): a hook may advertise an integer ``cadence``
+attribute, promising that calls on cycles where
+``cycle % cadence != 0`` are no-ops.  A cadence-advertising hook lets
+the loop-specializing backend fast-forward whole loop iterations
+between delivery cycles, synchronizing simulator state only at the
+cycles where the hook can actually observe something.  Such hooks may
+read and write memory and registers at delivery points but must not
+redirect ``pc``; hooks without a cadence get the per-cycle path on
+every backend.
 """
 
 from repro.ir.symbols import MemoryBank
@@ -33,6 +44,15 @@ class InterruptInjector:
             for s in module.globals
             if s.bank is MemoryBank.BOTH
         ]
+
+    @property
+    def cadence(self):
+        """Delivery period advertised to cadence-aware backends: this
+        hook is a no-op whenever ``cycle % period != 0`` (the early
+        return in :meth:`__call__`), never redirects ``pc``, and only
+        reads state — exactly the contract :mod:`repro.sim.loopjit`
+        requires to skip the intervening cycles."""
+        return self.period
 
     def __call__(self, simulator, cycle):
         if cycle % self.period:

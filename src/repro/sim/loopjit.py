@@ -1,0 +1,704 @@
+"""Loop-specializing codegen backend: whole hardware loops per dispatch.
+
+The threaded-code :class:`~repro.sim.fastsim.FastSimulator` still pays
+one Python closure call per simulated cycle and re-enters the dispatch
+loop on every zero-overhead hardware-loop back-edge, so the hottest
+cycles of the paper's loop-dominated DSP kernels are the most expensive
+to simulate.  This backend generates Python source per hardware-loop
+*region*: an entire loop nest executes as native ``for`` loops over the
+armed trip count, with
+
+* **register promotion** — every register slot (and stack pointer) the
+  nest touches becomes a Python local, loaded once at loop entry and
+  written back when the loop completes (or faults), so the inner loop
+  runs on locals instead of list indexing;
+* **bulk accounting** — ``pc_counts[pc] += iterations`` per nesting
+  level and one cycle-counter update per level, so profiling stays
+  bit-identical to the reference interpreter without per-cycle work;
+* **interrupt-cadence-aware chunking** — with a hook that advertises an
+  integer ``cadence`` (see :class:`~repro.sim.interrupts
+  .InterruptInjector`), a loop runs ``min(remaining iterations,
+  iterations before the next delivery)`` at full speed per chunk, then
+  single-steps the one iteration containing the delivery cycle, calling
+  the hook with synchronized state exactly when the reference
+  interpreter would deliver (including the dynamic store-lock check
+  that skips delivery inside a locked window).
+
+Specializability analysis (per loop region ``[start, end]``):
+
+* no control operation in the body except ``LOOP_BEGIN`` of a properly
+  nested loop (body starts right after its ``LOOP_BEGIN``, ends before
+  the parent's end);
+* the region's end pc is unique program-wide — a shared end would make
+  the back-edge cascade through several loop records at one pc, which
+  the structural ``for`` translation cannot express.
+
+Everything else falls back: unspecializable loops run on the inherited
+fused-superblock path, hooks without a ``cadence`` run on the inherited
+per-cycle step path (bit-exact hook visibility), and a loop record that
+does not match a compiled entry is simply dispatched normally.  The
+guard rails of :mod:`repro.sim.fastsim` carry over unchanged — control
+transfers override the loop back-edge, and loop-final instructions keep
+their back-edge-vs-taken-branch semantics — because unspecializable
+shapes never reach the generated loop bodies.
+
+Error-path divergence (same contract as the fast backend, documented
+there): on ``max_cycles`` overruns and machine faults the cycle counter
+and per-pc counts may overshoot by up to the remaining iterations of
+the specialized loop, and ``pc`` settles on the loop entry rather than
+the exact faulting instruction.  Completed runs are bit-identical —
+cycles, operations, ``pc_counts``, memory, registers, and the
+full-state digest — which is what the differential fuzz oracle and the
+equivalence suites verify.
+
+Interrupt protocol for cadence hooks: the hook promises to be a no-op
+whenever ``cycle % cadence != 0`` (so skipped calls are unobservable),
+may read and write memory and registers at delivery points, but must
+not redirect ``pc`` — a redirect inside a specialized loop raises
+:class:`~repro.sim.simulator.SimulationError`.  Hooks that need to
+redirect, or to observe every cycle, simply do not advertise a cadence.
+During specialized execution only the *armed* (top-of-stack) loop
+record is maintained; records of inlined inner loops are not pushed,
+and the armed record's count is refreshed at chunk boundaries, so
+cadence hooks must not inspect ``loop_stack`` beyond the documented
+fields.
+"""
+
+import re
+
+from repro.ir.operations import OpCode
+from repro.sim.fastsim import (
+    BACKENDS,
+    FastSimulator,
+    _CodeBuilder,
+    _FIXED_PARAMS,
+)
+from repro.sim.simulator import (
+    SimulationError,
+    SimulationResult,
+    _BANK_X,
+    _BANK_Y,
+)
+
+#: register / stack-pointer references in generated code, for promotion
+_REG_REF = re.compile(r"\b(RA|RI|RF|SP)\[(\d+)\]")
+
+_PROMOTED_PREFIX = {"RA": "pa", "RI": "pi", "RF": "pf", "SP": "sp"}
+
+
+class _Nest:
+    """One specializable loop: body range plus properly nested children."""
+
+    __slots__ = ("begin_pc", "start", "end", "children", "index")
+
+    def __init__(self, begin_pc, start, end, children):
+        #: pc of the LOOP_BEGIN arming this loop (None for a root entry)
+        self.begin_pc = begin_pc
+        self.start = start
+        self.end = end
+        self.children = children
+        #: preorder position in the nest (assigned at codegen time)
+        self.index = -1
+
+
+class LoopJitSimulator(FastSimulator):
+    """Drop-in replacement for :class:`FastSimulator` that executes
+    whole hardware loops per dispatch.
+
+    Three execution modes, chosen by the installed interrupt hook:
+
+    * no hook — fused superblocks plus a loop-entry overlay: when the
+      dispatch loop reaches a compiled loop's start pc with that loop's
+      record armed on top of the stack, one closure call consumes every
+      remaining iteration;
+    * hook with an integer ``cadence`` attribute — the per-instruction
+      step table plus chunked loop closures that fast-forward between
+      delivery cycles;
+    * any other hook — the inherited per-cycle
+      :meth:`FastSimulator.run` path (hook sees every cycle).
+    """
+
+    #: generated closures additionally see the pc-count table and the
+    #: shared cycle cell (kept in lockstep with :meth:`_fixed_args`)
+    _FIXED = _FIXED_PARAMS + ", PCC, CY"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        #: one-element list holding the running cycle count; generated
+        #: loop closures and the dispatch loop share it
+        self._cycle_cell = [0]
+        #: pc -> loop closure (hook-free mode), parallel end-pc table
+        self._entries = None
+        self._entry_ends = None
+        #: pc -> chunked loop closure (cadence mode), compiled per hook
+        self._chunk_entries = None
+        self._chunk_ends = None
+        self._chunk_sig = None
+        self._nest_cache = None
+        #: pc -> register refs ("RA[3]", "SP[0]", ...) that pc touches;
+        #: shared by every promotion map built for this simulator
+        self._ref_cache = {}
+
+    def _fixed_args(self):
+        return super()._fixed_args() + (self.pc_counts, self._cycle_cell)
+
+    # ------------------------------------------------------------------
+    # Specializability analysis
+    # ------------------------------------------------------------------
+    def _unique_regions(self):
+        """Deduplicated loop regions whose end pc no other region shares
+        (a shared end makes the back-edge cascade at one pc)."""
+        regions = set(self.program.loops.values())
+        by_end = {}
+        for region in regions:
+            by_end.setdefault(region[1], []).append(region)
+        return {r for r in regions if len(by_end[r[1]]) == 1}
+
+    def _analyze_region(self, start, end, regions):
+        """Children of a specializable body ``[start, end]``, or None.
+
+        A region qualifies when its only control operations are
+        ``LOOP_BEGIN`` of properly nested, recursively specializable
+        loops (body starting right after the arming pc, ending strictly
+        before *end*).  Branches, calls, returns, and HALT disqualify
+        the region — those shapes keep the fused-superblock semantics.
+        """
+        instructions = self.program.instructions
+        loops = self.program.loops
+        children = []
+        pc = start
+        while pc <= end:
+            control = [
+                op
+                for op in instructions[pc].slots.values()
+                if op.info.kind.value == "control"
+            ]
+            if len(control) > 1:
+                return None
+            if control:
+                op = control[0]
+                if op.opcode is not OpCode.LOOP_BEGIN:
+                    return None
+                s2, e2 = loops[op.target.name]
+                if s2 != pc + 1 or e2 < s2 or e2 >= end:
+                    return None
+                if (s2, e2) not in regions:
+                    return None
+                sub = self._analyze_region(s2, e2, regions)
+                if sub is None:
+                    return None
+                children.append(_Nest(pc, s2, e2, sub))
+                pc = e2 + 1
+            else:
+                pc += 1
+        return children
+
+    def _nests(self):
+        """start pc -> specializable :class:`_Nest`, every loop counted.
+
+        Inner loops appear independently too: when an outer loop is
+        unspecializable the inner loop still specializes the moment its
+        own record tops the stack, and the cadence-chunked path keys
+        its chunks off the innermost nests.  (Hook-free entry emission
+        filters this dict down to top-level nests — inner bodies are
+        inlined into the enclosing closure.)
+        """
+        if self._nest_cache is None:
+            regions = self._unique_regions()
+            nests = {}
+            for start, end in sorted(regions):
+                if start > end:
+                    continue
+                children = self._analyze_region(start, end, regions)
+                if children is not None and start not in nests:
+                    nests[start] = _Nest(None, start, end, children)
+            self._nest_cache = nests
+        return self._nest_cache
+
+    def _level_pcs(self, node):
+        """The pcs executed once per iteration of *node* itself — its
+        body minus nested children's bodies (children's LOOP_BEGIN pcs
+        belong to this level)."""
+        pcs = []
+        cursor = node.start
+        for child in node.children:
+            pcs.extend(range(cursor, child.begin_pc + 1))
+            cursor = child.end + 1
+        pcs.extend(range(cursor, node.end + 1))
+        return pcs
+
+    def _collect_levels(self, node, levels):
+        node.index = len(levels)
+        levels.append(node)
+        for child in node.children:
+            self._collect_levels(child, levels)
+
+    # ------------------------------------------------------------------
+    # Code generation helpers
+    # ------------------------------------------------------------------
+    def _emit_instruction(self, pc, cb, out, pad, count_var=None):
+        """Emit one instruction's read-before-write body at *pad* indent.
+
+        With *count_var*, the instruction's LOOP_BEGIN trip count is
+        read into that name during the read phase — before the cycle's
+        writes commit, exactly as the reference interpreter reads it.
+        """
+        saved, cb.lines = cb.lines, []
+        control_op, width = self._instruction_body(pc, cb)
+        if count_var is not None:
+            cb.reads.append(
+                "%s = %s"
+                % (count_var, self._operand_expr(control_op.sources[0], cb))
+            )
+        cb.flush()
+        out.extend(pad + line for line in cb.lines)
+        cb.lines = saved
+        self._op_widths[pc] = width
+        return control_op
+
+    def _pc_refs(self, pc):
+        """Register (and stack-pointer) slots *pc* touches, as sorted
+        ``"RA[3]"``-style refs, found via one cached scratch emission."""
+        refs = self._ref_cache.get(pc)
+        if refs is None:
+            scratch = _CodeBuilder()
+            lines = []
+            control_op = self._emit_instruction(pc, scratch, lines, "")
+            if control_op is not None and control_op.opcode is OpCode.LOOP_BEGIN:
+                lines.append(
+                    "_ = %s" % self._operand_expr(control_op.sources[0], scratch)
+                )
+            refs = tuple(
+                sorted(
+                    {m.group(0) for m in _REG_REF.finditer("\n".join(lines))}
+                )
+            )
+            self._ref_cache[pc] = refs
+        return refs
+
+    def _promotion_map(self, start, end):
+        """``"RA[3]" -> "pa3"`` for every register (and stack-pointer)
+        slot referenced in ``[start, end]``."""
+        promoted = {}
+        for pc in range(start, end + 1):
+            for ref in self._pc_refs(pc):
+                if ref not in promoted:
+                    match = _REG_REF.match(ref)
+                    promoted[ref] = "%s%s" % (
+                        _PROMOTED_PREFIX[match.group(1)],
+                        match.group(2),
+                    )
+        return promoted
+
+    @staticmethod
+    def _promotion_loads(cb):
+        return sorted(cb.promoted.items())
+
+    @staticmethod
+    def _promotion_stores(cb):
+        """Promoted slots written back on exit (the stack pointer is
+        read-only inside a specialized body — no CALL/RET can occur)."""
+        return [
+            (ref, local)
+            for ref, local in sorted(cb.promoted.items())
+            if not ref.startswith("SP")
+        ]
+
+    def _emit_body(self, node, cb, out, depth, pad_cache=None):
+        """Straight-line body of *node* with nested loops inlined."""
+        pad = "    " * depth
+        before = len(out)
+        cursor = node.start
+        for child in node.children:
+            for pc in range(cursor, child.begin_pc):
+                self._emit_instruction(pc, cb, out, pad)
+            count_var = "n%d" % child.index
+            self._emit_instruction(
+                child.begin_pc, cb, out, pad, count_var=count_var
+            )
+            out.append(pad + "if %s > 0:" % count_var)
+            self._emit_counted(child, cb, out, depth + 1, count_var)
+            cursor = child.end + 1
+        for pc in range(cursor, node.end + 1):
+            self._emit_instruction(pc, cb, out, pad)
+        if len(out) == before:
+            out.append(pad + "pass")
+
+    def _emit_counted(self, node, cb, out, depth, count_expr):
+        """Clamped native ``for`` over *count_expr* iterations of *node*.
+
+        The clamp keeps a register-supplied trip count from running past
+        ``max_cycles`` unchecked: at most enough iterations to exceed
+        the budget execute, then the post-loop check faults.  ``B`` is
+        the static per-iteration cycle cost of this level (inner loops
+        account for their own, dynamically).
+        """
+        pad = "    " * depth
+        rv, itv = "r%d" % node.index, "it%d" % node.index
+        b = len(self._level_pcs(node))
+        maxc = self.max_cycles
+        out.append(pad + "%s = %s" % (rv, count_expr))
+        out.append(pad + "if cy + %s * %d > %d:" % (rv, b, maxc))
+        out.append(pad + "    %s = (%d - cy) // %d + 1" % (rv, maxc, b))
+        out.append(pad + "    if %s < 0:" % rv)
+        out.append(pad + "        %s = 0" % rv)
+        out.append(pad + "%s += %s" % (itv, rv))
+        out.append(pad + "cy += %s * %d" % (rv, b))
+        out.append(pad + "for _ in range(%s):" % rv)
+        self._emit_body(node, cb, out, depth + 1)
+        out.append(pad + "if cy > %d:" % maxc)
+        out.append(pad + "    SIM._jit_max_cycles()")
+
+    def _nest_builder(self, nest):
+        """Builder for the hook-free loop closure of one nest: run every
+        remaining iteration of the armed record, pop it, return the
+        loop-exit pc."""
+        cb = _CodeBuilder()
+        cb.promoted = self._promotion_map(nest.start, nest.end)
+        levels = []
+        self._collect_levels(nest, levels)
+        out = cb.lines
+        out.append("rec = LS[-1]")
+        out.append("cy = CY[0]")
+        for node in levels:
+            out.append("it%d = 0" % node.index)
+        for ref, local in self._promotion_loads(cb):
+            out.append("%s = %s" % (local, ref))
+        out.append("try:")
+        self._emit_counted(nest, cb, out, 1, "rec[2]")
+        out.append("finally:")
+        for ref, local in self._promotion_stores(cb):
+            out.append("    %s = %s" % (ref, local))
+        out.append("    CY[0] = cy")
+        for node in levels:
+            itv = "it%d" % node.index
+            for pc in self._level_pcs(node):
+                out.append("    PCC[%d] += %s" % (pc, itv))
+        out.append("LS.pop()")
+        out.append("return %d" % (nest.end + 1))
+        return cb
+
+    def _compile_loops(self):
+        count = len(self.program.instructions)
+        cache = self._codegen_cache()
+        # max_cycles is baked into the generated clamps, so it keys the
+        # cached batch alongside the program itself.
+        cache_key = (type(self).__qualname__, "loops", self.max_cycles)
+        entry = cache.get(cache_key)
+        if entry is None:
+            keys = [None] * count
+            ends = [0] * count
+            pieces = []
+            bindings = []
+            nests = self._nests()
+            inlined = set()
+            for nest in nests.values():
+                stack = list(nest.children)
+                while stack:
+                    child = stack.pop()
+                    inlined.add(child.start)
+                    stack.extend(child.children)
+            for start, nest in nests.items():
+                if start in inlined:
+                    # Consumed natively by an enclosing entry; a jump
+                    # straight into that region (never emitted by the
+                    # compiler) falls back to fused-superblock speed.
+                    continue
+                key = "loop_%d" % start
+                cb = self._nest_builder(nest)
+                pieces.append(self._factory(key, cb))
+                bindings.append((key, cb.args))
+                keys[start] = key
+                ends[start] = nest.end
+            code = (
+                compile("\n".join(pieces), "<loopjit>", "exec")
+                if pieces
+                else None
+            )
+            entry = (code, bindings, tuple(keys), tuple(ends))
+            cache[cache_key] = entry
+        code, bindings, keys, ends = entry
+        closures = self._exec_code(code, bindings) if code is not None else {}
+        self._entries = [closures[k] if k is not None else None for k in keys]
+        self._entry_ends = ends
+
+    # ------------------------------------------------------------------
+    # Cadence-chunked code generation (interrupt mode)
+    # ------------------------------------------------------------------
+    def _emit_instrumented(self, nest, cb, out, depth, period, hook_name):
+        """One per-cycle iteration containing a delivery point: after
+        every instruction the cycle counter advances and, on a delivery
+        cycle, the hook runs against synchronized simulator state — the
+        same pc, cycle, lock-window gate, and committed writes the
+        reference interpreter would present."""
+        pad = "    " * depth
+        pad2 = "    " * (depth + 1)
+        pad3 = "    " * (depth + 2)
+        start, end = nest.start, nest.end
+        stores = self._promotion_stores(cb)
+        for pc in range(start, end + 1):
+            last = pc == end
+            self._emit_instruction(pc, cb, out, pad)
+            if last:
+                # The back-edge decrements the armed count before the
+                # end-of-body delivery can observe it.
+                out.append(pad + "q -= 1")
+                out.append(pad + "rec[2] = q")
+            out.append(pad + "cy += 1")
+            out.append(pad + "if not cy %% %d:" % period)
+            for ref, local in stores:
+                out.append(pad2 + "%s = %s" % (ref, local))
+            out.append(pad2 + "SIM.cycle = cy")
+            if last:
+                out.append(pad2 + "np = %d if q else %d" % (start, end + 1))
+            else:
+                out.append(pad2 + "np = %d" % (pc + 1))
+            out.append(pad2 + "SIM.pc = np")
+            out.append(pad2 + "if not SIM.locked:")
+            out.append(pad3 + "%s(SIM, cy)" % hook_name)
+            out.append(pad3 + "if SIM.pc != np:")
+            out.append(pad3 + "    SIM._jit_redirected(SIM.pc)")
+            for ref, local in stores:
+                out.append(pad2 + "%s = %s" % (local, ref))
+
+    def _emit_fast_iterations(self, nest, cb, out, depth):
+        before = len(out)
+        pad = "    " * depth
+        for pc in range(nest.start, nest.end + 1):
+            self._emit_instruction(pc, cb, out, pad)
+        if len(out) == before:
+            out.append(pad + "pass")
+
+    def _chunk_builder(self, nest, hook, period):
+        """Builder for one cadence-chunked (innermost) loop closure."""
+        cb = _CodeBuilder()
+        cb.promoted = self._promotion_map(nest.start, nest.end)
+        hook_name = cb.const(hook)
+        out = cb.lines
+        b = nest.end - nest.start + 1
+        maxc = self.max_cycles
+        out.append("rec = LS[-1]")
+        out.append("q = rec[2]")
+        out.append("cy = CY[0]")
+        out.append("it = 0")
+        for ref, local in self._promotion_loads(cb):
+            out.append("%s = %s" % (local, ref))
+        out.append("try:")
+        out.append("    while q > 0:")
+        out.append("        if cy > %d:" % maxc)
+        out.append("            SIM._jit_max_cycles()")
+        out.append("        d = cy - cy %% %d + %d" % (period, period))
+        out.append("        k = (d - cy - 1) // %d" % b)
+        # Every remaining iteration completes before the next delivery:
+        # run them all at full speed and return.
+        out.append("        if k >= q:")
+        out.append("            if cy + q * %d > %d:" % (b, maxc))
+        out.append("                q = (%d - cy) // %d + 1" % (maxc, b))
+        out.append("            it += q")
+        out.append("            cy += q * %d" % b)
+        out.append("            for _ in range(q):")
+        self._emit_fast_iterations(nest, cb, out, 4)
+        out.append("            break")
+        # Fast-forward the iterations that fit before the delivery...
+        out.append("        if k:")
+        out.append("            if cy + k * %d > %d:" % (b, maxc))
+        out.append("                k = (%d - cy) // %d + 1" % (maxc, b))
+        out.append("            it += k")
+        out.append("            cy += k * %d" % b)
+        out.append("            for _ in range(k):")
+        self._emit_fast_iterations(nest, cb, out, 4)
+        out.append("            q -= k")
+        out.append("            if cy > %d:" % maxc)
+        out.append("                SIM._jit_max_cycles()")
+        # ...then single-step the iteration containing the delivery.
+        out.append("        it += 1")
+        out.append("        rec[2] = q")
+        self._emit_instrumented(nest, cb, out, 2, period, hook_name)
+        out.append("    if cy > %d:" % maxc)
+        out.append("        SIM._jit_max_cycles()")
+        out.append("finally:")
+        for ref, local in self._promotion_stores(cb):
+            out.append("    %s = %s" % (ref, local))
+        out.append("    CY[0] = cy")
+        for pc in range(nest.start, nest.end + 1):
+            out.append("    PCC[%d] += it" % pc)
+        out.append("LS.pop()")
+        out.append("return %d" % (nest.end + 1))
+        return cb
+
+    def _compile_chunk_loops(self, hook, period):
+        count = len(self.program.instructions)
+        keys = [None] * count
+        ends = [0] * count
+        pieces = []
+        bindings = []
+        for start, nest in self._nests().items():
+            if nest.children:
+                # Outer levels of a nest run per-cycle under a hook;
+                # the innermost loops still chunk via their own entry.
+                continue
+            key = "chunk_%d" % start
+            cb = self._chunk_builder(nest, hook, period)
+            pieces.append(self._factory(key, cb))
+            bindings.append((key, cb.args))
+            keys[start] = key
+            ends[start] = nest.end
+        closures = self._exec_batch(pieces, bindings) if pieces else {}
+        self._chunk_entries = [
+            closures[k] if k is not None else None for k in keys
+        ]
+        self._chunk_ends = ends
+        self._chunk_sig = (id(hook), period)
+
+    # ------------------------------------------------------------------
+    # Faults raised from generated code
+    # ------------------------------------------------------------------
+    def _jit_max_cycles(self):
+        raise SimulationError("exceeded max_cycles=%d" % self.max_cycles)
+
+    def _jit_redirected(self, pc):
+        raise SimulationError(
+            "interrupt hook redirected pc to %d inside a specialized "
+            "loop; cadence hooks must not transfer control (install a "
+            "hook without a cadence to use the per-cycle path)" % pc
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self):
+        """Execute until HALT; returns a :class:`SimulationResult`."""
+        hook = self.interrupt_hook
+        if hook is not None:
+            cadence = getattr(hook, "cadence", None)
+            if (
+                isinstance(cadence, int)
+                and not isinstance(cadence, bool)
+                and cadence > 0
+            ):
+                return self._run_cadence(hook, cadence)
+            # Arbitrary hooks see every cycle: inherit the per-cycle
+            # step path, bit-exact with the reference interpreter.
+            return super().run()
+        return self._run_fused()
+
+    def _run_fused(self):
+        if self._blocks is None:
+            self._compile_blocks()
+        if self._entries is None:
+            self._compile_loops()
+        self._enter_main()
+        count = len(self.program.instructions)
+        pc_counts = self.pc_counts
+        max_cycles = self.max_cycles
+        blocks = self._blocks
+        lens = self._block_lens
+        entries = self._entries
+        ends = self._entry_ends
+        cell = self._cycle_cell
+        cell[0] = self.cycle
+        LS = self.loop_stack
+        pc = self.pc
+        try:
+            while True:
+                if pc < 0 or pc >= count:
+                    raise SimulationError("pc %d out of range" % pc)
+                entry = entries[pc]
+                if entry is not None and LS:
+                    rec = LS[-1]
+                    if rec[0] == pc and rec[1] == ends[pc]:
+                        pc = entry()
+                        continue
+                step = blocks[pc]
+                if step is None:
+                    raise SimulationError("pc %d out of range" % pc)
+                cell[0] += lens[pc]
+                if cell[0] > max_cycles:
+                    raise SimulationError(
+                        "exceeded max_cycles=%d" % max_cycles
+                    )
+                pc_counts[pc] += 1
+                next_pc = step()
+                if next_pc is None:
+                    break
+                pc = next_pc
+        except SimulationError:
+            self.pc = pc
+            self.cycle = cell[0]
+            self.locked = False
+            self._settle_counts(True)
+            raise
+        self.cycle = cell[0]
+        self.locked = False
+        self._settle_counts(True)
+        return SimulationResult(
+            self.cycle,
+            self.op_count,
+            pc_counts,
+            self.mem_top[_BANK_X] - self.sp_min[_BANK_X],
+            self.mem_top[_BANK_Y] - self.sp_min[_BANK_Y],
+        )
+
+    def _run_cadence(self, hook, period):
+        if self._steps is None:
+            self._compile_steps()
+        if self._chunk_sig != (id(hook), period):
+            self._compile_chunk_loops(hook, period)
+        self._enter_main()
+        count = len(self.program.instructions)
+        pc_counts = self.pc_counts
+        max_cycles = self.max_cycles
+        steps = self._steps
+        entries = self._chunk_entries
+        ends = self._chunk_ends
+        cell = self._cycle_cell
+        LS = self.loop_stack
+        cycle = self.cycle
+        pc = self.pc
+        try:
+            while True:
+                if pc < 0 or pc >= count:
+                    raise SimulationError("pc %d out of range" % pc)
+                entry = entries[pc]
+                if entry is not None and LS:
+                    rec = LS[-1]
+                    if rec[0] == pc and rec[1] == ends[pc]:
+                        cell[0] = cycle
+                        pc = entry()
+                        cycle = cell[0]
+                        continue
+                pc_counts[pc] += 1
+                cycle += 1
+                self.cycle = cycle
+                if cycle > max_cycles:
+                    raise SimulationError(
+                        "exceeded max_cycles=%d" % max_cycles
+                    )
+                self.pc = pc
+                next_pc = steps[pc]()
+                if next_pc is None:
+                    break
+                pc = next_pc
+                if not self.locked:
+                    self.pc = pc
+                    hook(self, cycle)
+                    pc = self.pc
+        except SimulationError:
+            self.pc = pc
+            self.cycle = max(cycle, cell[0])
+            self.locked = False
+            self._settle_counts(False)
+            raise
+        self.cycle = cycle
+        self.locked = False
+        self._settle_counts(False)
+        return SimulationResult(
+            self.cycle,
+            self.op_count,
+            pc_counts,
+            self.mem_top[_BANK_X] - self.sp_min[_BANK_X],
+            self.mem_top[_BANK_Y] - self.sp_min[_BANK_Y],
+        )
+
+
+BACKENDS["jit"] = LoopJitSimulator

@@ -1,8 +1,9 @@
 """Profiling support: post-run attribution over ``pc_counts``.
 
-This module is the simulators' profiling hook surface: both backends
-record per-pc execution counts during every run (the fast backend
-settles its fused superblocks' interior counts before returning), and
+This module is the simulators' profiling hook surface: every backend
+records per-pc execution counts during every run (the fast backend
+settles its fused superblocks' interior counts before returning; the
+jit backend adds whole-loop iteration counts in bulk), and
 everything else — block counts for the ``Pr`` configuration, hot-block
 rollups, the :mod:`repro.obs.profile` conflict ledger — is derived here
 *after* the run from ``(program, result)``.  Keeping attribution

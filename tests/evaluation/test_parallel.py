@@ -7,6 +7,7 @@ from repro.evaluation.parallel import (
     evaluate_workloads,
     resolve_jobs,
 )
+from repro.obs.core import Recorder
 from repro.partition.strategies import Strategy
 from repro.workloads.registry import KERNELS
 
@@ -17,11 +18,29 @@ def test_resolve_jobs():
     assert resolve_jobs(None) is None
     assert resolve_jobs(0) == default_jobs()
     assert resolve_jobs(1) == 1
-    # Explicit requests are capped at the core count: extra CPU-bound
-    # workers only add process overhead.
-    assert resolve_jobs(10_000) == default_jobs()
+    # An explicit request is honoured exactly, even past the detected
+    # core count — the user asked for it, the recorder logs it.
+    assert resolve_jobs(10_000) == 10_000
     with pytest.raises(ValueError):
         resolve_jobs(-1)
+
+
+def test_resolve_jobs_records_decision():
+    recorder = Recorder()
+    oversubscribed = default_jobs() + 3
+    assert resolve_jobs(oversubscribed, observe=recorder) == oversubscribed
+    assert recorder.counters["jobs.requested"] == oversubscribed
+    assert recorder.counters["jobs.resolved"] == oversubscribed
+    assert recorder.counters["jobs.cores"] == default_jobs()
+    assert recorder.counters["jobs.oversubscribed"] == 3
+
+
+def test_resolve_jobs_within_cores_records_no_oversubscription():
+    recorder = Recorder()
+    assert resolve_jobs(0, observe=recorder) == default_jobs()
+    assert recorder.counters["jobs.requested"] == 0
+    assert recorder.counters["jobs.resolved"] == default_jobs()
+    assert "jobs.oversubscribed" not in recorder.counters
 
 
 def test_negative_jobs_rejected():

@@ -5,7 +5,7 @@ Two separate guarantees:
 * compiling with a live :class:`Recorder` produces the *same program*
   as compiling without one (instrumentation only observes the passes);
 * profiling a finished run (:func:`profile_run`) mutates neither the
-  program nor the result, on either simulator backend.
+  program nor the result, on any simulator backend.
 """
 
 from repro.compiler import CompileOptions, compile_module

@@ -14,6 +14,7 @@ from repro.ir.values import Immediate, Label
 from repro.machine.resources import FunctionalUnit
 from repro.partition.strategies import Strategy
 from repro.sim.fastsim import BACKENDS, FastSimulator, make_simulator
+from repro.sim.loopjit import LoopJitSimulator
 from repro.sim.simulator import SimulationError, Simulator
 
 BOTH_BACKENDS = sorted(BACKENDS)
@@ -27,8 +28,9 @@ def test_make_simulator_factory(dot_product_module):
     assert type(make_simulator(program)) is Simulator
     assert type(make_simulator(program, backend="interp")) is Simulator
     assert type(make_simulator(program, backend="fast")) is FastSimulator
+    assert type(make_simulator(program, backend="jit")) is LoopJitSimulator
     with pytest.raises(ValueError, match="unknown simulator backend"):
-        make_simulator(program, backend="jit")
+        make_simulator(program, backend="turbo")
 
 
 def test_fast_simulator_shares_result_contract(dot_product_module):

@@ -1,9 +1,10 @@
-"""Differential testing: the threaded-code backend against the reference.
+"""Differential testing: the compiled backends against the reference.
 
-Every (workload, strategy) pair is compiled once and simulated on both
-backends; the fast backend must be bit-identical — same cycle count, same
-operation total, same per-pc execution counts, same stack peaks, and the
-same final memory and register-file state.
+Every (workload, strategy) pair is compiled once and simulated on every
+backend; the fast and jit backends must be bit-identical to the
+reference interpreter — same cycle count, same operation total, same
+per-pc execution counts, same stack peaks, and the same final memory
+and register-file state.
 
 Tier-1 runs cover a small but representative subset (kernels and
 applications exercising hardware loops, calls, duplication, and the
@@ -49,15 +50,16 @@ def _measure(workload, strategy, backend):
 def _assert_equivalent(name, strategy):
     workload = get_workload(name)
     reference, expected = _measure(workload, strategy, "interp")
-    fast, actual = _measure(workload, strategy, "fast")
-    label = "%s/%s" % (name, strategy.name)
-    assert actual.cycles == expected.cycles, label
-    assert actual.operations == expected.operations, label
-    assert actual.pc_counts == expected.pc_counts, label
-    assert actual.stack_peak_x == expected.stack_peak_x, label
-    assert actual.stack_peak_y == expected.stack_peak_y, label
-    assert fast.memory == reference.memory, label
-    assert fast.registers == reference.registers, label
+    for backend in ("fast", "jit"):
+        compiled_sim, actual = _measure(workload, strategy, backend)
+        label = "%s/%s/%s" % (name, strategy.name, backend)
+        assert actual.cycles == expected.cycles, label
+        assert actual.operations == expected.operations, label
+        assert actual.pc_counts == expected.pc_counts, label
+        assert actual.stack_peak_x == expected.stack_peak_x, label
+        assert actual.stack_peak_y == expected.stack_peak_y, label
+        assert compiled_sim.memory == reference.memory, label
+        assert compiled_sim.registers == reference.registers, label
 
 
 @pytest.mark.parametrize("strategy", ALL_STRATEGIES, ids=lambda s: s.name)

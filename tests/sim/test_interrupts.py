@@ -1,9 +1,12 @@
 """Interrupt injection and the store-lock/store-unlock protocol.
 
-Every test runs on both simulator backends: installing a hook forces
-the fast backend off its fused-superblock path onto the per-instruction
-fallback, which must honour the same delivery and lock-window rules as
-the reference interpreter.
+Every test runs on all three simulator backends: installing a hook
+forces the fast backend off its fused-superblock path onto the
+per-instruction fallback, and the jit backend onto either its chunked
+cadence path (hooks advertising a ``cadence``, like
+:class:`InterruptInjector`) or the same per-instruction fallback — all
+of which must honour the same delivery and lock-window rules as the
+reference interpreter.
 """
 
 import pytest
@@ -15,7 +18,7 @@ from repro.partition.strategies import Strategy
 from repro.sim.fastsim import FastSimulator, make_simulator
 from repro.sim.interrupts import DuplicateDivergenceError, InterruptInjector
 
-pytestmark = pytest.mark.parametrize("backend", ["interp", "fast"])
+pytestmark = pytest.mark.parametrize("backend", ["interp", "fast", "jit"])
 
 
 def _assert_hook_path(sim):

@@ -1,9 +1,11 @@
 """Tests for profiling support (block execution counts).
 
-Parametrized over both simulator backends: block counts derive from the
-per-pc execution counts, which the fast backend reconstructs from
-superblock leader counts after the run — the reconstruction must be
-indistinguishable from the reference interpreter's per-cycle counting.
+Parametrized over all three simulator backends: block counts derive
+from the per-pc execution counts, which the fast backend reconstructs
+from superblock leader counts after the run and the jit backend
+accumulates as bulk per-level ``pc_counts[pc] += iterations`` updates —
+both must be indistinguishable from the reference interpreter's
+per-cycle counting.
 """
 
 import pytest
@@ -14,7 +16,7 @@ from repro.partition.strategies import Strategy
 from repro.sim.fastsim import FastSimulator, make_simulator
 from repro.sim.tracing import collect_block_counts, profile_module
 
-pytestmark = pytest.mark.parametrize("backend", ["interp", "fast"])
+pytestmark = pytest.mark.parametrize("backend", ["interp", "fast", "jit"])
 
 
 def _loop_module():

@@ -178,6 +178,65 @@ def test_report_workload_rejects_unknown_names():
         main(["report", "--workload", "fir_32_1", "--strategy", "BOGUS"])
 
 
+#: every subcommand that accepts --backend (kept in sync by
+#: test_backend_flag_inventory)
+BACKEND_COMMANDS = ("run", "compare", "figure7", "figure8", "table3", "report")
+
+
+def test_backend_flag_inventory():
+    """Flag drift guard: the smoke tests below must cover exactly the
+    subcommands exposing --backend."""
+    parser = build_parser()
+    subparsers = parser._subparsers._group_actions[0].choices
+    with_backend = {
+        name
+        for name, sub in subparsers.items()
+        if any("--backend" in action.option_strings for action in sub._actions)
+    }
+    assert with_backend == set(BACKEND_COMMANDS)
+
+
+def test_jit_backend_is_a_cli_choice():
+    parser = build_parser()
+    sub = parser._subparsers._group_actions[0].choices["run"]
+    backend = next(
+        action for action in sub._actions if "--backend" in action.option_strings
+    )
+    assert "jit" in backend.choices
+
+
+def test_run_command_jit_backend(capsys):
+    assert main(["run", "fir_32_1", "--strategy", "CB", "--backend", "jit"]) == 0
+    assert "verified OK" in capsys.readouterr().out
+
+
+def test_compare_command_jit_backend(capsys):
+    assert (
+        main(["compare", "fir_32_1", "--strategies", "CB", "--backend", "jit"])
+        == 0
+    )
+    assert "baseline" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize("command", ("figure7", "figure8", "table3"))
+def test_artifact_commands_jit_backend(command, capsys):
+    assert main([command, "--backend", "jit"]) == 0
+    assert capsys.readouterr().out.strip()
+
+
+def test_report_workload_jit_backend(capsys):
+    assert (
+        main(
+            [
+                "report", "--workload", "fir_32_1", "--strategy", "CB",
+                "--backend", "jit",
+            ]
+        )
+        == 0
+    )
+    assert "Observability report" in capsys.readouterr().out
+
+
 def test_graph_command_produces_dot(capsys):
     assert main(["graph", "fir_32_1"]) == 0
     out = capsys.readouterr().out
