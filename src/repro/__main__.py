@@ -17,10 +17,17 @@ report [--workload W --strategy S --baseline B --top N --json PATH]
     per-pass compile timings, hot pcs, bank histograms, and the
     bank-conflict table (markdown + embedded JSON; --json also writes
     the JSON document to a file, "-" for stdout).
-fuzz [--runs N] [--seed S] [--jobs J]
+fuzz [--runs N] [--seed S] [--jobs J] [--journal PATH] [--timeout SEC]
     Differential fuzzing: random programs through every allocation
     strategy and every simulator backend; failures are shrunk and
-    archived under tests/fuzz_corpus/.
+    archived under tests/fuzz_corpus/.  With --journal/--timeout the
+    seeds run supervised and the campaign is resumable.
+faults [--runs N] [--seed S] [--jobs J] [--journal PATH] ...
+    Resilience campaign: seeded fault plans (bit flips, register
+    corruption, stuck banks, delivery jitter) injected into the
+    workloads under SINGLE_BANK/CB/CB_DUP; emits the markdown
+    resilience report (fault-masking and dup-detection rates), with
+    checkpoint/resume via --journal.
 """
 
 import argparse
@@ -236,8 +243,48 @@ def cmd_fuzz(args):
         shrink=not args.no_shrink,
         corpus_dir=args.corpus,
         log=print,
+        journal=args.journal,
+        timeout=args.timeout,
     )
     return 1 if failures else 0
+
+
+def cmd_faults(args):
+    import json
+
+    from repro.faults.campaign import fault_campaign
+    from repro.faults.report import render_resilience
+    from repro.obs.core import Recorder
+
+    workloads = args.workloads.split(",") if args.workloads else None
+    strategies = None
+    if args.strategies:
+        strategies = [_strategy(name).name for name in args.strategies.split(",")]
+    try:
+        report = fault_campaign(
+            args.runs,
+            seed=args.seed,
+            jobs=_jobs(args),
+            workloads=workloads,
+            strategies=strategies,
+            backend=args.backend,
+            journal=args.journal,
+            timeout=args.timeout,
+            retries=args.retries,
+            log=print,
+            observe=Recorder(),
+        )
+    except ValueError as error:
+        raise SystemExit(str(error))
+    print(render_resilience(report))
+    if args.json:
+        document = json.dumps(report, indent=2, sort_keys=True)
+        if args.json == "-":
+            print(document)
+        else:
+            with open(args.json, "w") as handle:
+                handle.write(document + "\n")
+    return 0
 
 
 def cmd_graph(args):
@@ -364,8 +411,62 @@ def build_parser():
         "--no-shrink", action="store_true",
         help="archive failures without delta-debugging them first",
     )
+    fuzz.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="checkpoint completed seeds to PATH; rerunning with the "
+        "same arguments resumes where the campaign stopped",
+    )
+    fuzz.add_argument(
+        "--timeout", type=float, default=None, metavar="SEC",
+        help="per-seed wall-clock budget; overrunning workers are "
+        "terminated and the seed retried (supervised runner)",
+    )
     add_jobs(fuzz)
     fuzz.set_defaults(func=cmd_fuzz)
+
+    faults = sub.add_parser(
+        "faults",
+        help="fault-injection resilience campaign: masking/detection "
+        "rates per allocation strategy",
+    )
+    faults.add_argument(
+        "--runs", type=nonnegative_int, default=25, metavar="N",
+        help="fault plans per (workload, strategy) pair (default 25)",
+    )
+    faults.add_argument(
+        "--seed", type=int, default=0, metavar="S",
+        help="first fault-plan seed; run i uses seed S+i (default 0)",
+    )
+    faults.add_argument(
+        "--workloads", default=None, metavar="W1,W2,...",
+        help="comma-separated workload names (default: the campaign "
+        "trio including the Fig-6 autocorrelation)",
+    )
+    faults.add_argument(
+        "--strategies", default=None, metavar="S1,S2,...",
+        help="comma-separated strategy names (default: SINGLE_BANK,CB,CB_DUP)",
+    )
+    faults.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="checkpoint completed runs to PATH; rerunning with the "
+        "same arguments resumes and converges to the same report",
+    )
+    faults.add_argument(
+        "--timeout", type=float, default=None, metavar="SEC",
+        help="per-run wall-clock budget enforced by the supervisor",
+    )
+    faults.add_argument(
+        "--retries", type=nonnegative_int, default=2, metavar="K",
+        help="retry budget per run for timeouts and worker deaths "
+        "(default 2)",
+    )
+    faults.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the JSON report to PATH ('-' for stdout)",
+    )
+    add_backend(faults)
+    add_jobs(faults)
+    faults.set_defaults(func=cmd_faults)
 
     graph = sub.add_parser(
         "graph", help="interference graph of a workload in DOT format"

@@ -16,9 +16,27 @@ over a :class:`concurrent.futures.ProcessPoolExecutor`:
 * ``jobs=None`` (or ``<= 1``) runs the exact same code path serially in
   the calling process — results are bit-identical either way, because
   every pipeline stage is deterministic.
+
+Two fan-out primitives live here:
+
+* :func:`parallel_map` — the fire-and-forget pool for quick sweeps.
+  Worker failures are re-raised *cleanly* in the parent: simulator
+  faults come back as the structured :mod:`repro.sim.errors` taxonomy
+  (category, pc, backend, seed attached; the raw worker traceback on
+  ``remote_traceback``, not vomited to the console), and a
+  ``KeyboardInterrupt`` anywhere terminates the whole pool instead of
+  orphaning workers;
+* :func:`supervised_map` — the resilient runner long campaigns (fault
+  injection, fuzzing, sweeps) use: per-task timeouts, bounded retry
+  with exponential backoff, dead-worker replacement, checkpoint/resume
+  through a :class:`Journal`, and degradation to serial execution when
+  workers keep dying.
 """
 
+import json
 import os
+import time
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 
 from repro.evaluation.runner import (
@@ -28,6 +46,7 @@ from repro.evaluation.runner import (
 )
 from repro.obs.core import NULL_RECORDER
 from repro.partition.strategies import Strategy
+from repro.sim.errors import describe_fault, from_description
 from repro.sim.tracing import collect_block_counts
 
 #: per-process content-keyed compiled-program cache (worker side)
@@ -65,14 +84,75 @@ def resolve_jobs(jobs, observe=NULL_RECORDER):
     return resolved
 
 
-def _profile_counts(workload, backend, cache):
-    """Block counts of the single-bank baseline (deterministic, so a
-    worker recomputing them gets the same answer the serial path does)."""
-    _measurement, compiled, result = _run_once(
-        workload, Strategy.SINGLE_BANK, verify=False, backend=backend,
-        cache=cache,
+# ----------------------------------------------------------------------
+# Task failures (parent-side view of what went wrong in a worker)
+# ----------------------------------------------------------------------
+class TaskError(RuntimeError):
+    """A mapped task failed; carries the worker-side context.
+
+    ``remote_traceback`` holds the formatted worker traceback (for
+    logs, not for the console), ``task_key`` the journal key of the
+    failing task, ``attempts`` how many tries were spent.  Simulator
+    faults are *not* wrapped in this — they re-raise as the structured
+    :mod:`repro.sim.errors` taxonomy instead.
+    """
+
+    def __init__(self, message, task_key=None, attempts=1,
+                 remote_traceback=None):
+        super().__init__(message)
+        self.task_key = task_key
+        self.attempts = attempts
+        self.remote_traceback = remote_traceback
+
+
+class TaskTimeout(TaskError):
+    """A supervised task exceeded its per-task timeout on every allowed
+    attempt (the worker was terminated each time)."""
+
+
+class WorkerDied(TaskError):
+    """A worker process died (killed, crashed hard) while running a task,
+    and the retry budget ran out."""
+
+
+def _raise_remote(description, task_key=None, attempts=1):
+    """Re-raise a worker failure described by
+    :func:`repro.sim.errors.describe_fault` as a clean parent-side
+    exception: the structured sim taxonomy when the failure came from
+    the simulator, :class:`TaskError` otherwise."""
+    if description.get("kind") == "KeyboardInterrupt":
+        raise KeyboardInterrupt()
+    if description.get("category") is not None:
+        raise from_description(description)
+    error = TaskError(
+        "%s: %s" % (description.get("kind"), description.get("message")),
+        task_key=task_key,
+        attempts=attempts,
+        remote_traceback=description.get("traceback"),
     )
-    return collect_block_counts(compiled.program, result)
+    raise error
+
+
+def _guarded_call(pair):
+    """Worker shim for :func:`parallel_map`: never lets an exception
+    escape into the pool machinery — failures come back as data."""
+    fn, arguments = pair
+    try:
+        return ("ok", fn(*arguments))
+    except BaseException as exc:  # noqa: BLE001 — shipped to the parent
+        return ("error", describe_fault(exc))
+
+
+def _terminate_pool(pool):
+    """Hard-stop a :class:`ProcessPoolExecutor`: cancel queued work and
+    terminate the worker processes so a ``KeyboardInterrupt`` (or any
+    abort) never leaves orphans behind."""
+    pool.shutdown(wait=False, cancel_futures=True)
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        process.terminate()
+    for process in list(processes.values()):
+        process.join(timeout=5)
 
 
 def parallel_map(fn, argument_tuples, jobs=None):
@@ -83,12 +163,468 @@ def parallel_map(fn, argument_tuples, jobs=None):
     (None, 0, 1) runs serially in-process, anything larger fans out over
     a :class:`ProcessPoolExecutor`.  Results come back in input order
     either way, so callers are oblivious to the execution mode.
+
+    Worker failures re-raise cleanly in the parent (structured sim
+    taxonomy or :class:`TaskError`, never a raw remote traceback), and
+    any abort — including ``KeyboardInterrupt`` — terminates the pool's
+    worker processes before propagating.
     """
     argument_tuples = list(argument_tuples)
     if not jobs or jobs == 1 or len(argument_tuples) <= 1:
         return [fn(*arguments) for arguments in argument_tuples]
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        return list(pool.map(fn, *zip(*argument_tuples)))
+    pool = ProcessPoolExecutor(max_workers=jobs)
+    try:
+        outcomes = list(
+            pool.map(_guarded_call, [(fn, a) for a in argument_tuples])
+        )
+    except BaseException:
+        _terminate_pool(pool)
+        raise
+    pool.shutdown()
+    results = []
+    for status, payload in outcomes:
+        if status == "error":
+            _raise_remote(payload)
+        results.append(payload)
+    return results
+
+
+# ----------------------------------------------------------------------
+# Checkpoint journal
+# ----------------------------------------------------------------------
+class Journal:
+    """Append-only JSON-lines checkpoint journal for resumable runs.
+
+    One line per completed task: ``{"key": <canonical args>, "result":
+    <JSON result>}``, flushed on every record so an interrupt (SIGINT, a
+    killed worker, a power cut mid-write) loses at most the line being
+    written — a truncated or corrupt trailing line is skipped on load.
+    Task results must therefore be JSON-serializable; tuples come back
+    as lists on resume.
+
+    Consumed by :func:`supervised_map` (and through it the fault and
+    fuzz campaigns) and by :func:`repro.evaluation.sweeps.sweep`.
+    """
+
+    def __init__(self, path):
+        self.path = path
+        #: canonical key -> recorded result, as loaded plus appended
+        self.completed = {}
+        self._handle = None
+        if path and os.path.exists(path):
+            with open(path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        entry = json.loads(line)
+                    except ValueError:
+                        continue  # torn write from a killed process
+                    if isinstance(entry, dict) and "key" in entry:
+                        self.completed[entry["key"]] = entry.get("result")
+
+    @staticmethod
+    def key_for(arguments):
+        """Canonical JSON key for one task's argument tuple (stable
+        across runs and processes, so resumed runs match)."""
+        return json.dumps(list(arguments), sort_keys=True, default=repr)
+
+    def __contains__(self, key):
+        return key in self.completed
+
+    def __len__(self):
+        return len(self.completed)
+
+    def record(self, key, result):
+        """Append one completed entry and flush it to disk immediately
+        (reopens the file if the journal was closed)."""
+        if self._handle is None:
+            directory = os.path.dirname(self.path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+            if self._handle.tell():
+                # Heal a torn trailing line (a write killed mid-record)
+                # so the next record does not concatenate onto it.
+                with open(self.path, "rb") as probe:
+                    probe.seek(-1, os.SEEK_END)
+                    if probe.read(1) != b"\n":
+                        self._handle.write("\n")
+        self._handle.write(
+            json.dumps({"key": key, "result": result}, sort_keys=True) + "\n"
+        )
+        self._handle.flush()
+        self.completed[key] = result
+
+    def close(self):
+        """Flush and close the underlying file (the journal stays usable;
+        :meth:`record` reopens on demand)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+# ----------------------------------------------------------------------
+# Supervised fan-out
+# ----------------------------------------------------------------------
+class _Worker:
+    """One supervised worker process plus its duplex pipe and the task
+    it is currently running (``(index, attempt, started_at)`` or None)."""
+
+    __slots__ = ("process", "connection", "task")
+
+
+def _supervised_worker(connection):
+    """Worker loop: receive ``(index, fn, arguments)``, send back
+    ``(index, "ok", result)`` or ``(index, "error", description)``.
+    Exits on EOF or an explicit ``None`` sentinel."""
+    while True:
+        try:
+            item = connection.recv()
+        except (EOFError, OSError):
+            return
+        if item is None:
+            return
+        index, fn, arguments = item
+        try:
+            result = fn(*arguments)
+        except BaseException as exc:  # noqa: BLE001 — shipped to the parent
+            try:
+                connection.send((index, "error", describe_fault(exc)))
+            except (OSError, ValueError):
+                return
+            if isinstance(exc, SystemExit):
+                return
+        else:
+            try:
+                connection.send((index, "ok", result))
+            except (OSError, ValueError):
+                return
+
+
+def _shutdown_workers(workers):
+    """Terminate every worker process and close its pipe — the
+    KeyboardInterrupt/abort path that guarantees no orphans survive the
+    supervisor."""
+    for worker in workers:
+        try:
+            worker.connection.close()
+        except OSError:
+            pass
+        if worker.process.is_alive():
+            worker.process.terminate()
+    for worker in workers:
+        worker.process.join(timeout=5)
+    workers.clear()
+
+
+def _pop_eligible(queue, now):
+    """Pop the first queue entry whose backoff delay has elapsed (the
+    queue holds ``(index, attempt, eligible_at)``), or None."""
+    for _ in range(len(queue)):
+        entry = queue.popleft()
+        if entry[2] <= now:
+            return entry
+        queue.append(entry)
+    return None
+
+
+def _run_serial(fn, arguments, pending, results, retries, backoff,
+                retry_errors, journal, emit, observe):
+    """Serial leg of :func:`supervised_map`: same retry and journal
+    semantics, no timeouts (nothing to terminate in-process)."""
+    for index in pending:
+        attempt = 1
+        while True:
+            try:
+                result = fn(*arguments[index])
+            except KeyboardInterrupt:
+                raise
+            except Exception:
+                if retry_errors and attempt <= retries:
+                    delay = backoff * (2 ** (attempt - 1))
+                    observe.counter("supervised.retries")
+                    emit(
+                        "task %d failed; retry %d/%d in %.2gs"
+                        % (index, attempt, retries, delay)
+                    )
+                    time.sleep(delay)
+                    attempt += 1
+                    continue
+                raise
+            break
+        results[index] = result
+        if journal is not None:
+            journal.record(Journal.key_for(arguments[index]), result)
+
+
+def _run_supervised_pool(fn, arguments, pending, results, jobs, timeout,
+                         retries, backoff, retry_errors, degrade_after,
+                         journal, emit, observe):
+    """Pool leg of :func:`supervised_map` (see its docstring for the
+    contract).  Own Process/Pipe supervisor rather than an executor:
+    per-task deadlines require terminating individual workers, which
+    :class:`ProcessPoolExecutor` cannot do."""
+    import multiprocessing
+
+    context = multiprocessing.get_context()
+    if degrade_after is None:
+        degrade_after = max(3, jobs + 1)
+    queue = deque((index, 1, 0.0) for index in pending)
+    remaining = len(pending)
+    workers = []
+    consecutive_failures = 0
+
+    def spawn():
+        parent_end, child_end = context.Pipe()
+        process = context.Process(
+            target=_supervised_worker, args=(child_end,), daemon=True
+        )
+        process.start()
+        child_end.close()
+        worker = _Worker()
+        worker.process = process
+        worker.connection = parent_end
+        worker.task = None
+        workers.append(worker)
+
+    def retire(worker):
+        if worker in workers:
+            workers.remove(worker)
+        try:
+            worker.connection.close()
+        except OSError:
+            pass
+        if worker.process.is_alive():
+            worker.process.terminate()
+        worker.process.join(timeout=5)
+
+    def record_result(index, result):
+        nonlocal remaining, consecutive_failures
+        results[index] = result
+        remaining -= 1
+        consecutive_failures = 0
+        observe.counter("supervised.completed")
+        if journal is not None:
+            journal.record(Journal.key_for(arguments[index]), result)
+
+    def fail_task(index, attempt, error_cls, reason, description=None):
+        nonlocal consecutive_failures
+        consecutive_failures += 1
+        if attempt <= retries:
+            delay = backoff * (2 ** (attempt - 1))
+            observe.counter("supervised.retries")
+            emit(
+                "task %d %s; retry %d/%d in %.2gs"
+                % (index, reason, attempt, retries, delay)
+            )
+            queue.append((index, attempt + 1, time.monotonic() + delay))
+            return
+        if description is not None and description.get("category") is not None:
+            _raise_remote(
+                description,
+                task_key=Journal.key_for(arguments[index]),
+                attempts=attempt,
+            )
+        error = error_cls(
+            "task %d %s after %d attempt(s)" % (index, reason, attempt),
+            task_key=Journal.key_for(arguments[index]),
+            attempts=attempt,
+        )
+        if description is not None:
+            error.remote_traceback = description.get("traceback")
+        raise error
+
+    from multiprocessing.connection import wait as connection_wait
+
+    for _ in range(min(jobs, remaining)):
+        spawn()
+    try:
+        while remaining:
+            now = time.monotonic()
+            if consecutive_failures >= degrade_after:
+                emit(
+                    "%d consecutive worker failures; degrading to serial "
+                    "execution" % consecutive_failures
+                )
+                observe.counter("supervised.degraded")
+                for worker in list(workers):
+                    if worker.task is not None:
+                        queue.append((worker.task[0], worker.task[1], 0.0))
+                        worker.task = None
+                    retire(worker)
+                serial_pending = sorted({entry[0] for entry in queue})
+                queue.clear()
+                _run_serial(
+                    fn, arguments, serial_pending, results, retries, backoff,
+                    retry_errors, journal, emit, observe,
+                )
+                return
+            # Reap idle workers that died between tasks, then dispatch.
+            for worker in [
+                w for w in list(workers)
+                if w.task is None and not w.process.is_alive()
+            ]:
+                retire(worker)
+            idle = [w for w in workers if w.task is None]
+            while idle and queue:
+                entry = _pop_eligible(queue, now)
+                if entry is None:
+                    break
+                index, attempt, _eligible = entry
+                worker = idle.pop()
+                try:
+                    worker.connection.send((index, fn, arguments[index]))
+                except (OSError, BrokenPipeError):
+                    retire(worker)
+                    queue.append((index, attempt, now))
+                    continue
+                worker.task = (index, attempt, time.monotonic())
+            busy = [w for w in workers if w.task is not None]
+            # Replace terminated workers while work remains.
+            while len(workers) < min(jobs, len(busy) + len(queue)):
+                spawn()
+            if not busy:
+                if queue:
+                    next_eligible = min(entry[2] for entry in queue)
+                    time.sleep(
+                        min(max(next_eligible - time.monotonic(), 0.01), 0.5)
+                    )
+                    continue
+                time.sleep(0.01)
+                continue
+            wait_for = 0.5
+            if timeout is not None:
+                next_deadline = min(w.task[2] + timeout for w in busy)
+                wait_for = min(wait_for, next_deadline - time.monotonic())
+            if queue:
+                next_eligible = min(entry[2] for entry in queue)
+                wait_for = min(wait_for, next_eligible - time.monotonic())
+            ready = connection_wait(
+                [w.connection for w in busy], max(wait_for, 0.01)
+            )
+            by_connection = {w.connection: w for w in workers}
+            for connection in ready:
+                worker = by_connection.get(connection)
+                if worker is None:
+                    continue
+                task = worker.task
+                try:
+                    message = connection.recv()
+                except (EOFError, OSError):
+                    observe.counter("supervised.worker_deaths")
+                    retire(worker)
+                    if task is not None:
+                        fail_task(task[0], task[1], WorkerDied, "worker died")
+                    continue
+                worker.task = None
+                index, status, payload = message
+                if status == "ok":
+                    record_result(index, payload)
+                    continue
+                if payload.get("kind") == "KeyboardInterrupt":
+                    raise KeyboardInterrupt()
+                if retry_errors and task is not None:
+                    fail_task(
+                        index, task[1], TaskError,
+                        "failed (%s)" % payload.get("kind"), payload,
+                    )
+                else:
+                    _raise_remote(
+                        payload, task_key=Journal.key_for(arguments[index])
+                    )
+            if timeout is not None:
+                now = time.monotonic()
+                for worker in list(workers):
+                    if worker.task is None:
+                        continue
+                    index, attempt, started = worker.task
+                    if now - started > timeout:
+                        observe.counter("supervised.timeouts")
+                        worker.task = None
+                        retire(worker)
+                        fail_task(
+                            index, attempt, TaskTimeout,
+                            "timed out after %.2gs" % timeout,
+                        )
+    finally:
+        _shutdown_workers(workers)
+
+
+def supervised_map(fn, argument_tuples, jobs=None, timeout=None, retries=2,
+                   backoff=0.25, journal=None, retry_errors=False,
+                   degrade_after=None, log=None, observe=NULL_RECORDER):
+    """Resilient :func:`parallel_map`: supervise every task to completion.
+
+    The campaign runner behind ``repro faults`` (and, via the
+    ``--journal`` options, the fuzzer and sweeps).  Semantics:
+
+    * ``jobs`` in (None, 0, 1) runs serially in-process; otherwise
+      *jobs* supervised worker processes are spawned, each running one
+      task at a time over a duplex pipe;
+    * ``timeout`` (seconds, pool mode only) bounds each task attempt;
+      an overrunning worker is **terminated** and the task retried;
+    * a worker that dies mid-task (killed, segfault, ``os._exit``) is
+      replaced and its task retried — timeouts and deaths always
+      consume the ``retries`` budget with exponential ``backoff``
+      (``backoff * 2**(attempt-1)`` seconds); exceptions *raised by fn*
+      only retry when ``retry_errors`` is set, otherwise they re-raise
+      immediately (structured sim taxonomy / :class:`TaskError`);
+    * ``journal`` (a path or :class:`Journal`) records every completed
+      task; on a rerun, journaled tasks are skipped and their recorded
+      results returned — so an interrupted campaign resumes where it
+      stopped.  Results must be JSON-serializable (tuples come back as
+      lists);
+    * after ``degrade_after`` consecutive worker-level failures
+      (default ``max(3, jobs + 1)``) the pool is torn down and the rest
+      of the run degrades to serial in-process execution;
+    * ``KeyboardInterrupt`` — in the parent or raised by a task —
+      terminates every worker, flushes the journal, and re-raises.
+
+    Returns results in input order, like :func:`parallel_map`.
+    """
+    arguments = [tuple(a) for a in argument_tuples]
+    if isinstance(journal, str):
+        journal = Journal(journal)
+    emit = log if log is not None else (lambda message: None)
+    results = [None] * len(arguments)
+    pending = []
+    for index, task_arguments in enumerate(arguments):
+        key = Journal.key_for(task_arguments)
+        if journal is not None and key in journal.completed:
+            results[index] = journal.completed[key]
+            observe.counter("supervised.resumed")
+        else:
+            pending.append(index)
+    observe.counter("supervised.tasks", len(pending))
+    if not pending:
+        return results
+    try:
+        if not jobs or jobs == 1 or (len(pending) == 1 and timeout is None):
+            _run_serial(
+                fn, arguments, pending, results, retries, backoff,
+                retry_errors, journal, emit, observe,
+            )
+        else:
+            _run_supervised_pool(
+                fn, arguments, pending, results, jobs, timeout, retries,
+                backoff, retry_errors, degrade_after, journal, emit, observe,
+            )
+    finally:
+        if journal is not None:
+            journal.close()
+    return results
+
+
+def _profile_counts(workload, backend, cache):
+    """Block counts of the single-bank baseline (deterministic, so a
+    worker recomputing them gets the same answer the serial path does)."""
+    _measurement, compiled, result = _run_once(
+        workload, Strategy.SINGLE_BANK, verify=False, backend=backend,
+        cache=cache,
+    )
+    return collect_block_counts(compiled.program, result)
 
 
 def _measure_pair(name, strategy_name, backend, verify):

@@ -1,0 +1,152 @@
+"""Seeded, serializable fault plans.
+
+A :class:`FaultPlan` is to the fault injector what a
+:class:`~repro.fuzz.generator.Recipe` is to the fuzzer: a small,
+JSON-serializable value that *deterministically* describes one faulted
+run.  Same plan + same program + same backend ⇒ bit-identical run, which
+is what lets the identity suite assert that all three simulator backends
+classify every fault the same way.
+
+Events are plain lists (JSON-stable, like recipe statements) tagged by
+kind:
+
+``["bank", cycle, bank, address, bit]``
+    flip *bit* of the word at *address* in data bank *bank* (0=X, 1=Y);
+``["glob", cycle, symbol, element, bit, copy]``
+    flip a bit inside global number *symbol* (module order); for a
+    duplicated global *copy* picks the X or Y image — the shape that
+    exercises the paper's dup-copy redundancy directly;
+``["reg", cycle, rclass, index, bit]``
+    corrupt one register slot (rclass 0=ADDR, 1=INT, 2=FLOAT);
+``["stuck", cycle, bank, address, length, window]``
+    bank *bank* returns stale values for the region
+    ``[address, address+length)`` for *window* cycles: the injector
+    snapshots the region when the window opens and re-imposes the
+    snapshot at every delivery inside the window (delivery-point
+    granularity — see :mod:`repro.faults.injector`);
+``["jitter", cycle, skip]``
+    delivery jitter: the next ``1 + skip % 4`` hook deliveries are
+    suppressed (their injections and coherence checks do not happen).
+
+All integers are clamped on *arm* (modulo the target program's actual
+sizes), never on construction — any plan is valid for any program, the
+way recipe statements clamp on build.
+"""
+
+import json
+import random
+
+#: bump when the serialized format changes incompatibly
+VERSION = 1
+
+#: event kinds a plan may contain, in generation-weight order
+EVENT_KINDS = ("glob", "bank", "reg", "stuck", "jitter")
+
+#: hook cadences plans draw from (small primes, like the fuzzer's
+#: interrupt periods — coprime to most loop trip counts)
+CADENCES = (3, 5, 7, 11, 13)
+
+
+class FaultPlan:
+    """One deterministic fault schedule: a seed, a hook cadence, and a
+    list of per-cycle fault events (see the module docstring for the
+    event grammar)."""
+
+    def __init__(self, seed, cadence=7, events=None):
+        self.seed = seed
+        self.cadence = cadence
+        self.events = [list(event) for event in (events or [])]
+
+    # -- serialization (mirrors fuzz.generator.Recipe) -----------------
+    def to_dict(self):
+        """Plain-data form (JSON-stable)."""
+        return {
+            "version": VERSION,
+            "seed": self.seed,
+            "cadence": self.cadence,
+            "events": [list(event) for event in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild a plan from :meth:`to_dict` output."""
+        if data.get("version") != VERSION:
+            raise ValueError(
+                "fault plan version %r != supported %d"
+                % (data.get("version"), VERSION)
+            )
+        return cls(
+            seed=data["seed"],
+            cadence=data["cadence"],
+            events=data["events"],
+        )
+
+    def to_json(self):
+        """Serialize to a JSON string (sorted keys, so equal plans
+        serialize identically)."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text):
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+
+    def __eq__(self, other):
+        if not isinstance(other, FaultPlan):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __hash__(self):
+        return hash(self.to_json())
+
+    def __repr__(self):
+        return "<FaultPlan seed=%r cadence=%d events=%d>" % (
+            self.seed,
+            self.cadence,
+            len(self.events),
+        )
+
+
+def generate_plan(seed, events=3, horizon=1000, cadence=None):
+    """Draw a :class:`FaultPlan` from *seed*.
+
+    *events* faults are scheduled uniformly over ``[1, horizon]``
+    (pass the fault-free run's cycle count as *horizon* so faults land
+    while the program is actually executing).  *cadence* defaults to a
+    seed-chosen small prime.  Deterministic: same arguments ⇒ equal
+    plans, the property the resume/identity tests lean on.
+    """
+    rng = random.Random((seed & 0xFFFFFFFF) ^ 0x5EED_FA17)
+    if cadence is None:
+        cadence = rng.choice(CADENCES)
+    horizon = max(2, horizon)
+    drawn = []
+    for _ in range(max(1, events)):
+        kind = rng.choices(
+            EVENT_KINDS, weights=(5, 3, 2, 1, 1), k=1
+        )[0]
+        cycle = rng.randrange(1, horizon)
+        if kind == "glob":
+            drawn.append(
+                ["glob", cycle, rng.randrange(64), rng.randrange(4096),
+                 rng.randrange(16), rng.randrange(2)]
+            )
+        elif kind == "bank":
+            drawn.append(
+                ["bank", cycle, rng.randrange(2), rng.randrange(4096),
+                 rng.randrange(16)]
+            )
+        elif kind == "reg":
+            drawn.append(
+                ["reg", cycle, rng.randrange(3), rng.randrange(32),
+                 rng.randrange(16)]
+            )
+        elif kind == "stuck":
+            drawn.append(
+                ["stuck", cycle, rng.randrange(2), rng.randrange(4096),
+                 1 + rng.randrange(8), cadence * (1 + rng.randrange(4))]
+            )
+        else:
+            drawn.append(["jitter", cycle, rng.randrange(4)])
+    drawn.sort(key=lambda event: (event[1], EVENT_KINDS.index(event[0])))
+    return FaultPlan(seed=seed, cadence=cadence, events=drawn)

@@ -1,0 +1,74 @@
+"""Render a resilience campaign's aggregate report as markdown.
+
+The tables answer the campaign's question directly: per strategy (and
+per workload × strategy), how often did an injected fault end up
+masked, detected by the duplicated copy, silently corrupting data,
+crashing, or hanging — i.e. what does the paper's partial-duplication
+redundancy buy as an error-detection mechanism, compared to plain
+partitioning (CB) and no partitioning at all (SINGLE_BANK).
+"""
+
+from repro.faults.experiment import OUTCOMES
+from repro.partition.strategies import PAPER_LABELS, Strategy
+
+
+def _label(strategy_name):
+    """Paper-style label for a strategy name (falls back to the raw
+    name for strategies without one)."""
+    strategy = Strategy[strategy_name]
+    return PAPER_LABELS.get(strategy, strategy_name)
+
+
+def _rate(value):
+    """Percentage with one decimal, e.g. ``'83.3%'``."""
+    return "%.1f%%" % (100.0 * value)
+
+
+def _histogram_row(label, entry):
+    cells = [label, str(entry["runs"])]
+    cells += [str(entry[outcome]) for outcome in OUTCOMES]
+    cells += [
+        _rate(entry["masked_rate"]),
+        _rate(entry["detection_rate"]),
+        _rate(entry["coverage"]),
+    ]
+    return "| " + " | ".join(cells) + " |"
+
+
+def _histogram_header(first_column):
+    names = " | ".join(OUTCOMES)
+    head = "| %s | runs | %s | masked%% | detected%% | coverage%% |" % (
+        first_column, names,
+    )
+    rule = "|" + "---|" * (len(OUTCOMES) + 5)
+    return head + "\n" + rule
+
+
+def render_resilience(report):
+    """Markdown resilience report for one campaign's aggregate dict
+    (the output of :func:`repro.faults.campaign.aggregate`)."""
+    lines = ["# Resilience report", ""]
+    lines.append(
+        "%d faulted runs, backend `%s`.  Outcomes: **hang** (cycle "
+        "budget exceeded), **crash** (machine fault), **silent** "
+        "(wrong data, nothing noticed), **detected** (dup cross-check "
+        "caught it), **masked** (no observable effect)."
+        % (report["runs"], report["backend"])
+    )
+    lines.append("")
+    lines.append("## Per strategy")
+    lines.append("")
+    lines.append(_histogram_header("strategy"))
+    for name, entry in sorted(report["strategies"].items()):
+        lines.append(_histogram_row(_label(name), entry))
+    lines.append("")
+    lines.append("## Per workload")
+    for workload, strategies in sorted(report["workloads"].items()):
+        lines.append("")
+        lines.append("### %s" % workload)
+        lines.append("")
+        lines.append(_histogram_header("strategy"))
+        for name, entry in sorted(strategies.items()):
+            lines.append(_histogram_row(_label(name), entry))
+    lines.append("")
+    return "\n".join(lines)

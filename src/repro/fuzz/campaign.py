@@ -111,20 +111,33 @@ def fuzz_campaign(
     shrink=True,
     corpus_dir=DEFAULT_CORPUS,
     log=None,
+    journal=None,
+    timeout=None,
 ):
     """Run *runs* oracle checks; shrink and archive every failure.
 
     Returns the list of :class:`FuzzFailure` (empty on a clean campaign).
     ``jobs`` follows the ``--jobs`` convention of the evaluation runner
-    (None/1 = serial, 0 resolved by the caller to all cores).
+    (None/1 = serial, 0 resolved by the caller to all cores).  With a
+    *journal* path or a per-seed *timeout*, the seeds run through the
+    supervised runner instead (:func:`~repro.evaluation.parallel.
+    supervised_map`): completed seeds checkpoint to the journal, so an
+    interrupted campaign rerun with the same arguments resumes where it
+    stopped, and hung or crashed workers are retried.
     """
-    from repro.evaluation.parallel import parallel_map
+    from repro.evaluation.parallel import parallel_map, supervised_map
 
     emit = log or (lambda message: None)
     seeds = range(seed, seed + runs)
-    outcomes = parallel_map(
-        check_seed, [(s, max_statements) for s in seeds], jobs=jobs
-    )
+    if journal is not None or timeout is not None:
+        outcomes = supervised_map(
+            check_seed, [(s, max_statements) for s in seeds], jobs=jobs,
+            journal=journal, timeout=timeout, log=log,
+        )
+    else:
+        outcomes = parallel_map(
+            check_seed, [(s, max_statements) for s in seeds], jobs=jobs
+        )
     failures = []
     for outcome_seed, summary in outcomes:
         if summary is None:

@@ -25,6 +25,12 @@ For each generated module the oracle checks, in order:
    partitioned strategy: dual-ported memory bounds every configuration
    from below, and no allocation strategy may lose to the single-bank
    baseline.
+6. **Fault-outcome identity** (opt-in via ``fault_seed``) — with a
+   seeded :class:`~repro.faults.plan.FaultPlan` armed, every backend
+   classifies the faulted run identically (masked / detected / silent /
+   crash / hang) and completed runs stay bit-identical — the
+   cross-backend contract of :mod:`repro.faults.experiment`, checked
+   differentially over fuzzer-generated programs.
 
 Any violation raises :class:`OracleViolation` carrying the recipe, so a
 failure is self-contained and replayable.
@@ -134,18 +140,84 @@ def _run_config(recipe, strategy, backend, profile_counts):
     return compiled, simulator, result, hook
 
 
-def check_recipe(recipe, strategies=ORACLE_STRATEGIES, backends=ORACLE_BACKENDS):
+def check_recipe(recipe, strategies=ORACLE_STRATEGIES, backends=ORACLE_BACKENDS,
+                 fault_seed=None):
     """Run the full oracle over *recipe*; returns an :class:`OracleReport`.
 
     Raises :class:`OracleViolation` (with the recipe attached) on the
     first broken invariant, and re-raises simulator faults wrapped the
     same way so campaign drivers can treat every failure uniformly.
+    A non-None *fault_seed* additionally runs the fault-outcome
+    identity stage (:func:`check_fault_identity`).
     """
     try:
-        return _check(recipe, strategies, backends)
+        report = _check(recipe, strategies, backends)
+        if fault_seed is not None:
+            check_fault_identity(
+                recipe, fault_seed, strategies=strategies, backends=backends
+            )
+        return report
     except OracleViolation as violation:
         violation.recipe = recipe
         raise
+
+
+def check_fault_identity(recipe, fault_seed, strategies=ORACLE_STRATEGIES,
+                         backends=ORACLE_BACKENDS):
+    """Oracle stage 6: identical fault-outcome classification everywhere.
+
+    For each strategy, arms the same seeded
+    :class:`~repro.faults.plan.FaultPlan` (horizon = the fault-free
+    cycle count) on every backend and asserts the
+    :func:`repro.faults.experiment.comparable` projections agree —
+    outcome class, injector record, and (for completed runs) the full
+    architectural state digest.  Raises :class:`OracleViolation` with
+    stage ``"fault-identity"`` on any divergence.
+    """
+    from repro.faults.experiment import comparable, reference_run, run_with_plan
+    from repro.faults.plan import generate_plan
+
+    profile = None
+    for strategy in strategies:
+        if strategy.needs_profile and profile is None:
+            profile = _profile_counts(recipe)
+        counts = profile if strategy.needs_profile else None
+        results = {}
+        for backend in backends:
+            compiled = compile_module(
+                build_module(recipe), strategy=strategy, profile_counts=counts
+            )
+            try:
+                reference = reference_run(compiled.program, backend=backend)
+                plan = generate_plan(fault_seed, horizon=reference[0])
+                results[backend] = run_with_plan(
+                    compiled.program, plan, backend=backend,
+                    reference=reference,
+                )
+            except SimulationError as fault:
+                raise OracleViolation(
+                    "simulation-fault",
+                    "%s/%s (fault stage): %s" % (strategy.name, backend, fault),
+                    recipe=recipe,
+                )
+        first = backends[0]
+        expected = comparable(results[first])
+        for backend in backends[1:]:
+            actual = comparable(results[backend])
+            if actual != expected:
+                raise OracleViolation(
+                    "fault-identity",
+                    "%s: fault seed %d classified %r on %s but %r on %s"
+                    % (
+                        strategy.name,
+                        fault_seed,
+                        results[first]["outcome"],
+                        first,
+                        results[backend]["outcome"],
+                        backend,
+                    ),
+                    recipe=recipe,
+                )
 
 
 def _check(recipe, strategies, backends):

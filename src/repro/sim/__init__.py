@@ -8,7 +8,19 @@ zero-overhead hardware loops, and optional interrupt injection for
 validating the store-lock/store-unlock protocol on duplicated data.
 """
 
-from repro.sim.simulator import SimulationError, SimulationResult, Simulator
+from repro.sim.simulator import (
+    CycleLimitError,
+    SimulationError,
+    SimulationResult,
+    Simulator,
+)
+from repro.sim.errors import (
+    InternalError,
+    MachineError,
+    ProgramError,
+    SimError,
+    classify_fault,
+)
 from repro.sim.fastsim import BACKENDS, FastSimulator, make_simulator
 from repro.sim.loopjit import LoopJitSimulator
 from repro.sim.tracing import collect_block_counts, profile_module
@@ -17,13 +29,19 @@ from repro.sim.statistics import UtilizationReport, utilization
 
 __all__ = [
     "BACKENDS",
+    "CycleLimitError",
     "FastSimulator",
+    "InternalError",
     "InterruptInjector",
     "LoopJitSimulator",
+    "MachineError",
+    "ProgramError",
+    "SimError",
     "SimulationError",
     "SimulationResult",
     "Simulator",
     "UtilizationReport",
+    "classify_fault",
     "collect_block_counts",
     "make_simulator",
     "profile_module",

@@ -1,0 +1,179 @@
+"""Structured simulator-error taxonomy for supervised campaigns.
+
+The raw :class:`~repro.sim.simulator.SimulationError` carries only a
+message (plus the ``pc``/``cycle``/``backend`` attributes the backends
+attach in flight).  Long-running campaigns — the fuzzer, the resilience
+runner — need more: a worker process must ship the failure across a pipe
+as plain data, and the parent must re-raise something a human can read
+without a twelve-frame remote traceback in their face.
+
+This module defines that contract:
+
+* :class:`SimError` and its three subclasses — :class:`ProgramError`
+  (the *input program* is malformed: unallocated registers, unknown
+  opcodes, unresolved banks — compiler bugs), :class:`MachineError`
+  (the *machine* faulted while executing a well-formed program: bad
+  address, stack overflow, runaway, wild pc — what fault injection
+  provokes on purpose), and :class:`InternalError` (anything else:
+  a bug in the harness itself);
+* :func:`classify_fault` maps any exception onto the taxonomy,
+  preserving the attached context;
+* :func:`describe_fault` / :func:`from_description` round-trip a fault
+  through a JSON-able dict, which is how
+  :func:`repro.evaluation.parallel.supervised_map` re-raises worker
+  failures cleanly in the parent.
+"""
+
+from repro.sim.simulator import SimulationError
+
+
+class SimError(Exception):
+    """Structured simulator failure with attached context.
+
+    ``category`` is one of ``"program"``, ``"machine"``, ``"internal"``;
+    ``pc``/``cycle``/``backend``/``seed`` locate the failure;
+    ``remote_traceback`` holds the formatted worker-side traceback when
+    the error crossed a process boundary.
+    """
+
+    category = "internal"
+
+    def __init__(self, message, pc=None, cycle=None, backend=None, seed=None,
+                 remote_traceback=None):
+        super().__init__(message)
+        self.pc = pc
+        self.cycle = cycle
+        self.backend = backend
+        self.seed = seed
+        self.remote_traceback = remote_traceback
+
+    def __str__(self):
+        parts = [super().__str__()]
+        context = []
+        if self.backend is not None:
+            context.append("backend=%s" % self.backend)
+        if self.pc is not None:
+            context.append("pc=%s" % self.pc)
+        if self.cycle is not None:
+            context.append("cycle=%s" % self.cycle)
+        if self.seed is not None:
+            context.append("seed=%s" % self.seed)
+        if context:
+            parts.append("[%s: %s]" % (self.category, ", ".join(context)))
+        return " ".join(parts)
+
+
+class ProgramError(SimError):
+    """The simulated *program* is malformed (a compiler bug reached the
+    simulator): unallocated register, unexpected opcode, unresolved
+    bank."""
+
+    category = "program"
+
+
+class MachineError(SimError):
+    """The machine faulted executing a well-formed program: bad address,
+    stack overflow, cycle-limit runaway, wild pc, call-stack underflow —
+    the faults that injection campaigns provoke deliberately."""
+
+    category = "machine"
+
+
+class InternalError(SimError):
+    """Anything that is neither a program nor a machine fault: a bug in
+    the harness, the workload, or the campaign plumbing itself."""
+
+    category = "internal"
+
+
+_BY_CATEGORY = {
+    "program": ProgramError,
+    "machine": MachineError,
+    "internal": InternalError,
+}
+
+#: message fragments identifying a malformed input program (the compiler
+#: let something through that the simulator cannot execute)
+_PROGRAM_MARKERS = (
+    "unallocated register",
+    "unexpected opcode",
+    "unresolved bank",
+)
+
+
+def categorize(exc):
+    """Taxonomy category of *exc*: ``"program"``/``"machine"`` for
+    simulator faults, ``"internal"`` for :class:`SimError` fallbacks,
+    ``None`` for exceptions outside the simulator entirely."""
+    if isinstance(exc, SimError):
+        return exc.category
+    if isinstance(exc, SimulationError):
+        message = str(exc)
+        if any(marker in message for marker in _PROGRAM_MARKERS):
+            return "program"
+        return "machine"
+    return None
+
+
+def classify_fault(exc, seed=None, backend=None):
+    """Wrap *exc* in the matching :class:`SimError` subclass.
+
+    Context attached by the backends (``pc``, ``cycle``, ``backend``)
+    is carried over; *seed*/*backend* fill gaps the exception itself
+    does not know about.  A :class:`SimError` passed in is returned
+    as-is (with missing context filled), so classification is
+    idempotent.
+    """
+    if isinstance(exc, SimError):
+        if exc.seed is None:
+            exc.seed = seed
+        if exc.backend is None:
+            exc.backend = backend
+        return exc
+    category = categorize(exc) or "internal"
+    cls = _BY_CATEGORY[category]
+    wrapped = cls(
+        str(exc) or type(exc).__name__,
+        pc=getattr(exc, "pc", None),
+        cycle=getattr(exc, "cycle", None),
+        backend=getattr(exc, "backend", None) or backend,
+        seed=getattr(exc, "seed", None) if seed is None else seed,
+    )
+    wrapped.__cause__ = exc
+    return wrapped
+
+
+def describe_fault(exc, seed=None, backend=None):
+    """JSON-able description of *exc* for shipping across a pipe.
+
+    The inverse of :func:`from_description`; ``category`` is ``None``
+    for exceptions that are not simulator faults (the supervisor
+    re-raises those as generic task errors instead).
+    """
+    import traceback
+
+    return {
+        "kind": type(exc).__name__,
+        "message": str(exc),
+        "category": categorize(exc),
+        "pc": getattr(exc, "pc", None),
+        "cycle": getattr(exc, "cycle", None),
+        "backend": getattr(exc, "backend", None) or backend,
+        "seed": getattr(exc, "seed", None) if seed is None else seed,
+        "traceback": traceback.format_exc(),
+    }
+
+
+def from_description(description):
+    """Rebuild the :class:`SimError` a :func:`describe_fault` dict
+    encodes (used by the supervisor to re-raise worker failures with
+    their context, not their raw traceback)."""
+    cls = _BY_CATEGORY.get(description.get("category"), InternalError)
+    return cls(
+        description.get("message", "simulator fault"),
+        pc=description.get("pc"),
+        cycle=description.get("cycle"),
+        backend=description.get("backend"),
+        seed=description.get("seed"),
+        remote_traceback=description.get("traceback"),
+    )

@@ -35,6 +35,7 @@ from repro.ir.operations import OpCode
 from repro.ir.types import RegClass
 from repro.ir.values import Immediate
 from repro.sim.simulator import (
+    CycleLimitError,
     SimulationError,
     SimulationResult,
     Simulator,
@@ -166,6 +167,8 @@ class FastSimulator(Simulator):
     (``read_global``/``write_global``, call/return bookkeeping, interrupt
     hooks) — only decoding and the run loop differ.
     """
+
+    backend_name = "fast"
 
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
@@ -597,7 +600,7 @@ class FastSimulator(Simulator):
                         raise SimulationError("pc %d out of range" % pc)
                     cycle += lens[pc]
                     if cycle > max_cycles:
-                        raise SimulationError(
+                        raise CycleLimitError(
                             "exceeded max_cycles=%d" % max_cycles
                         )
                     pc_counts[pc] += 1
@@ -614,7 +617,7 @@ class FastSimulator(Simulator):
                     cycle += 1
                     self.cycle = cycle
                     if cycle > max_cycles:
-                        raise SimulationError(
+                        raise CycleLimitError(
                             "exceeded max_cycles=%d" % max_cycles
                         )
                     self.pc = pc
@@ -626,11 +629,12 @@ class FastSimulator(Simulator):
                         self.pc = pc
                         hook(self, cycle)
                         pc = self.pc
-        except SimulationError:
+        except SimulationError as fault:
             self.pc = pc
             self.cycle = cycle
             self.locked = False
             self._settle_counts(fused)
+            self._annotate_fault(fault)
             raise
         self.cycle = cycle
         self.locked = False

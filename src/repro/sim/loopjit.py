@@ -74,6 +74,7 @@ from repro.sim.fastsim import (
     _FIXED_PARAMS,
 )
 from repro.sim.simulator import (
+    CycleLimitError,
     SimulationError,
     SimulationResult,
     _BANK_X,
@@ -117,6 +118,8 @@ class LoopJitSimulator(FastSimulator):
     * any other hook — the inherited per-cycle
       :meth:`FastSimulator.run` path (hook sees every cycle).
     """
+
+    backend_name = "jit"
 
     #: generated closures additionally see the pc-count table and the
     #: shared cycle cell (kept in lockstep with :meth:`_fixed_args`)
@@ -554,7 +557,7 @@ class LoopJitSimulator(FastSimulator):
     # Faults raised from generated code
     # ------------------------------------------------------------------
     def _jit_max_cycles(self):
-        raise SimulationError("exceeded max_cycles=%d" % self.max_cycles)
+        raise CycleLimitError("exceeded max_cycles=%d" % self.max_cycles)
 
     def _jit_redirected(self, pc):
         raise SimulationError(
@@ -614,7 +617,7 @@ class LoopJitSimulator(FastSimulator):
                     raise SimulationError("pc %d out of range" % pc)
                 cell[0] += lens[pc]
                 if cell[0] > max_cycles:
-                    raise SimulationError(
+                    raise CycleLimitError(
                         "exceeded max_cycles=%d" % max_cycles
                     )
                 pc_counts[pc] += 1
@@ -622,11 +625,12 @@ class LoopJitSimulator(FastSimulator):
                 if next_pc is None:
                     break
                 pc = next_pc
-        except SimulationError:
+        except SimulationError as fault:
             self.pc = pc
             self.cycle = cell[0]
             self.locked = False
             self._settle_counts(True)
+            self._annotate_fault(fault)
             raise
         self.cycle = cell[0]
         self.locked = False
@@ -671,7 +675,7 @@ class LoopJitSimulator(FastSimulator):
                 cycle += 1
                 self.cycle = cycle
                 if cycle > max_cycles:
-                    raise SimulationError(
+                    raise CycleLimitError(
                         "exceeded max_cycles=%d" % max_cycles
                     )
                 self.pc = pc
@@ -683,11 +687,12 @@ class LoopJitSimulator(FastSimulator):
                     self.pc = pc
                     hook(self, cycle)
                     pc = self.pc
-        except SimulationError:
+        except SimulationError as fault:
             self.pc = pc
             self.cycle = max(cycle, cell[0])
             self.locked = False
             self._settle_counts(False)
+            self._annotate_fault(fault)
             raise
         self.cycle = cycle
         self.locked = False

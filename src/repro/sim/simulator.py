@@ -28,7 +28,22 @@ from repro.ir.values import Immediate
 
 
 class SimulationError(Exception):
-    """Raised on machine faults: bad address, stack overflow, runaway."""
+    """Raised on machine faults: bad address, stack overflow, runaway.
+
+    Every backend annotates the exception in flight with the faulting
+    ``pc``, ``cycle``, and ``backend`` name (see
+    :meth:`Simulator._annotate_fault`); :mod:`repro.sim.errors` builds
+    the structured program/machine/internal taxonomy on top of these.
+    """
+
+
+class CycleLimitError(SimulationError):
+    """The ``max_cycles`` runaway guard tripped.
+
+    A distinct subclass so callers (the fault-injection outcome
+    classifier, campaign supervisors) can tell an apparent *hang* from
+    other machine faults without parsing the message.
+    """
 
 
 class SimulationResult:
@@ -80,6 +95,9 @@ class Simulator:
         Verify every memory access stays inside its symbol — catches
         compiler bugs at the cost of some simulation speed.
     """
+
+    #: backend identifier attached to faults (subclasses override)
+    backend_name = "interp"
 
     def __init__(
         self,
@@ -385,15 +403,31 @@ class Simulator:
         self.sp[_BANK_X] += 1
         return return_pc
 
+    def _annotate_fault(self, fault):
+        """Attach fault context (``pc``, ``cycle``, ``backend``) in flight.
+
+        Existing values win, so a fault annotated deeper in the stack
+        keeps its innermost (most precise) location.  The structured
+        taxonomy in :mod:`repro.sim.errors` reads these attributes when
+        wrapping the raw :class:`SimulationError`.
+        """
+        if getattr(fault, "pc", None) is None:
+            fault.pc = self.pc
+        if getattr(fault, "cycle", None) is None:
+            fault.cycle = self.cycle
+        if getattr(fault, "backend", None) is None:
+            fault.backend = self.backend_name
+
     def run(self):
         """Execute until HALT; returns a :class:`SimulationResult`."""
         try:
             return self._run()
-        except SimulationError:
+        except SimulationError as fault:
             # A machine fault aborts any open store-lock window: the
             # machine is dead, so the window must not linger into
             # post-mortem inspection or a subsequent interrupt probe.
             self.locked = False
+            self._annotate_fault(fault)
             raise
 
     def _run(self):
@@ -417,7 +451,7 @@ class Simulator:
             pc_counts[pc] += 1
             self.cycle += 1
             if self.cycle > self.max_cycles:
-                raise SimulationError("exceeded max_cycles=%d" % self.max_cycles)
+                raise CycleLimitError("exceeded max_cycles=%d" % self.max_cycles)
             next_pc = pc + 1
             transferred = False
             reg_writes = []

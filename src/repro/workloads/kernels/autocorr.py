@@ -1,0 +1,64 @@
+"""Paper-Figure-6 autocorrelation workload (``autocorr_24_4``).
+
+The duplication case study of the paper: the autocorrelation inner loop
+reads ``signal[n]`` and ``signal[n + m]`` every iteration, so the
+``CB_DUP`` strategies keep a copy of ``signal`` in *both* banks to issue
+the two loads in one cycle.  A pre-scale pass stores into ``signal``
+first, so the duplicated updates also exercise the store-lock /
+store-unlock window under interrupt (and fault) delivery.
+
+This workload exists for the resilience campaign
+(:mod:`repro.faults.campaign`): a kernel whose hot array is genuinely
+duplicated, so dup-copy cross-checking has something to detect.  It is
+deliberately *not* registered in the figure/table registry — the paper's
+tables enumerate a fixed workload set whose golden numbers must not
+drift.
+"""
+
+import numpy as np
+
+from repro.frontend import ProgramBuilder
+from repro.workloads.base import Workload
+
+
+class Autocorr(Workload):
+    """Autocorrelation of a ``frame``-sample signal over ``lags`` lags,
+    with an in-place pre-scale pass over the signal."""
+
+    category = "kernel"
+
+    def __init__(self, frame=24, lags=4):
+        self.frame = frame
+        self.lags = lags
+        self.name = "autocorr_%d_%d" % (frame, lags)
+        self._signal = [
+            float((7 * i) % 13) / 13.0 for i in range(frame + lags)
+        ]
+
+    def build(self):
+        """Fresh module: pre-scale ``signal`` in place, then the Fig-6
+        dual-read autocorrelation into ``R``."""
+        pb = ProgramBuilder(self.name)
+        signal = pb.global_array(
+            "signal", self.frame + self.lags, float, init=self._signal
+        )
+        r = pb.global_array("R", self.lags, float)
+        with pb.function("main") as f:
+            with f.loop(self.frame + self.lags, name="i") as i:
+                f.assign(signal[i], signal[i] * 0.5)
+            with f.loop(self.lags, name="m") as m:
+                acc = f.float_var("acc")
+                f.assign(acc, 0.0)
+                with f.loop(self.frame, name="n") as n:
+                    f.assign(acc, acc + signal[n] * signal[n + m])
+                f.assign(r[m], acc)
+        return pb.build()
+
+    def expected(self):
+        """Reference model: the scaled signal and its autocorrelation."""
+        scaled = np.asarray(self._signal) * 0.5
+        r = [
+            float(np.dot(scaled[: self.frame], scaled[m : m + self.frame]))
+            for m in range(self.lags)
+        ]
+        return {"signal": [float(v) for v in scaled], "R": r}

@@ -1,15 +1,99 @@
-"""The process-pool evaluation path must match the serial path exactly."""
+"""The process-pool evaluation path must match the serial path exactly,
+and the supervised runner must survive hostile workers: crashes, hangs,
+hard exits, and KeyboardInterrupt — without orphaning processes."""
+
+import multiprocessing
+import os
+import time
 
 import pytest
 
 from repro.evaluation.parallel import (
+    Journal,
+    TaskError,
+    TaskTimeout,
+    WorkerDied,
     default_jobs,
     evaluate_workloads,
+    parallel_map,
     resolve_jobs,
+    supervised_map,
 )
 from repro.obs.core import Recorder
 from repro.partition.strategies import Strategy
+from repro.sim.errors import MachineError
 from repro.workloads.registry import KERNELS
+
+
+# -- hostile worker functions (module level: picklable across the pipe) --
+def _square(x):
+    return x * x
+
+
+def _fail(x):
+    raise ValueError("boom %d" % x)
+
+
+def _fail_once(path, x):
+    if not os.path.exists(path):
+        with open(path, "w") as handle:
+            handle.write("1")
+        raise ValueError("first attempt")
+    return x
+
+
+def _die(_x):
+    os._exit(3)
+
+
+def _die_until_flag(path, x):
+    if not os.path.exists(path):
+        with open(path, "w") as handle:
+            handle.write("seen")
+        os._exit(3)
+    return x + 1
+
+
+def _worker_only_exit(x):
+    # dies in any supervised worker, succeeds in the parent process —
+    # the shape that forces degradation to serial execution
+    if multiprocessing.parent_process() is not None:
+        os._exit(5)
+    return x + 100
+
+
+def _sleep_forever(_x):
+    time.sleep(60)
+
+
+def _machine_fault(_x):
+    from repro.sim.simulator import SimulationError
+
+    error = SimulationError("memory bank exploded")
+    error.pc = 7
+    error.cycle = 11
+    error.backend = "fast"
+    raise error
+
+
+def _raise_interrupt(_x):
+    raise KeyboardInterrupt()
+
+
+def _mark_and_square(directory, x):
+    with open(os.path.join(directory, "m%d" % x), "a") as handle:
+        handle.write("x")
+    return x * x
+
+
+def _assert_no_orphans():
+    deadline = time.monotonic() + 5
+    while time.monotonic() < deadline:
+        alive = [p for p in multiprocessing.active_children() if p.is_alive()]
+        if not alive:
+            return
+        time.sleep(0.05)
+    raise AssertionError("orphaned workers: %r" % (alive,))
 
 STRATEGIES = (Strategy.CB, Strategy.CB_PROFILE, Strategy.IDEAL)
 
@@ -70,3 +154,181 @@ def test_parallel_matches_serial_bit_for_bit():
             assert serial[name].gain_percent(strategy) == parallel[
                 name
             ].gain_percent(strategy)
+
+
+# ----------------------------------------------------------------------
+# parallel_map failure semantics
+# ----------------------------------------------------------------------
+def test_parallel_map_reraises_sim_faults_with_context():
+    """Simulator faults cross the pool boundary as the structured
+    taxonomy, pc/backend intact, worker traceback attached — not as a
+    raw pickled traceback dump."""
+    with pytest.raises(MachineError) as excinfo:
+        parallel_map(_machine_fault, [(1,), (2,)], jobs=2)
+    fault = excinfo.value
+    assert fault.pc == 7
+    assert fault.cycle == 11
+    assert fault.backend == "fast"
+    assert fault.remote_traceback and "SimulationError" in fault.remote_traceback
+    _assert_no_orphans()
+
+
+def test_parallel_map_wraps_plain_exceptions():
+    with pytest.raises(TaskError) as excinfo:
+        parallel_map(_fail, [(1,), (2,)], jobs=2)
+    assert "boom" in str(excinfo.value)
+    assert "ValueError" in excinfo.value.remote_traceback
+    _assert_no_orphans()
+
+
+def test_parallel_map_keyboard_interrupt_leaves_no_orphans():
+    with pytest.raises(KeyboardInterrupt):
+        parallel_map(_raise_interrupt, [(1,), (2,)], jobs=2)
+    _assert_no_orphans()
+
+
+# ----------------------------------------------------------------------
+# supervised_map
+# ----------------------------------------------------------------------
+def test_supervised_matches_serial():
+    tasks = [(i,) for i in range(6)]
+    assert supervised_map(_square, tasks) == [i * i for i in range(6)]
+    assert supervised_map(_square, tasks, jobs=2) == [i * i for i in range(6)]
+    _assert_no_orphans()
+
+
+def test_dead_worker_is_replaced_and_task_retried(tmp_path):
+    """A worker that hard-exits mid-task is replaced; the retried task
+    succeeds on the second attempt (the flag file marks the first)."""
+    flags = [str(tmp_path / ("flag%d" % i)) for i in range(2)]
+    recorder = Recorder()
+    results = supervised_map(
+        _die_until_flag, [(flags[0], 1), (flags[1], 2)], jobs=2,
+        retries=2, backoff=0.01, observe=recorder,
+    )
+    assert results == [2, 3]
+    assert recorder.counters["supervised.retries"] >= 2
+    _assert_no_orphans()
+
+
+def test_worker_death_exhausts_retries():
+    with pytest.raises(WorkerDied) as excinfo:
+        supervised_map(
+            _die, [(1,), (2,)], jobs=2, retries=0, backoff=0.01,
+        )
+    assert excinfo.value.attempts == 1
+    assert excinfo.value.task_key is not None
+    _assert_no_orphans()
+
+
+def test_timeout_terminates_and_raises(tmp_path):
+    """A hung task is terminated at its deadline on every attempt, the
+    whole run stays bounded, and no worker survives."""
+    started = time.monotonic()
+    with pytest.raises(TaskTimeout) as excinfo:
+        supervised_map(
+            _sleep_forever, [(1,), (2,)], jobs=2,
+            timeout=0.4, retries=1, backoff=0.01,
+        )
+    assert excinfo.value.attempts == 2
+    assert time.monotonic() - started < 20
+    _assert_no_orphans()
+
+
+def test_single_task_with_timeout_is_still_supervised():
+    """The serial shortcut must not swallow the timeout contract: one
+    pending task with a timeout goes through the pool."""
+    with pytest.raises(TaskTimeout):
+        supervised_map(
+            _sleep_forever, [(1,)], jobs=2, timeout=0.3, retries=0,
+        )
+    _assert_no_orphans()
+
+
+def test_fn_exceptions_reraise_without_retry_by_default():
+    with pytest.raises(TaskError):
+        supervised_map(_fail, [(1,), (2,)], jobs=2, retries=5, backoff=0.01)
+    _assert_no_orphans()
+
+
+def test_fn_exceptions_retry_when_asked(tmp_path):
+    flag = str(tmp_path / "flag")
+    results = supervised_map(
+        _fail_once, [(flag, 5)], retries=2, backoff=0.01, retry_errors=True,
+    )
+    assert results == [5]
+
+
+def test_sim_faults_keep_taxonomy_through_supervisor():
+    with pytest.raises(MachineError) as excinfo:
+        supervised_map(_machine_fault, [(1,), (2,)], jobs=2)
+    assert excinfo.value.pc == 7
+    assert excinfo.value.backend == "fast"
+    _assert_no_orphans()
+
+
+def test_worker_keyboard_interrupt_propagates_cleanly():
+    with pytest.raises(KeyboardInterrupt):
+        supervised_map(_raise_interrupt, [(1,), (2,)], jobs=2)
+    _assert_no_orphans()
+
+
+def test_degrades_to_serial_when_workers_keep_dying():
+    """Every spawned worker dies instantly; after degrade_after
+    consecutive failures the supervisor finishes the run in-process."""
+    recorder = Recorder()
+    results = supervised_map(
+        _worker_only_exit, [(1,), (2,), (3,)], jobs=2,
+        retries=10, backoff=0.01, degrade_after=2, observe=recorder,
+    )
+    assert results == [101, 102, 103]
+    assert recorder.counters["supervised.degraded"] == 1
+    _assert_no_orphans()
+
+
+def test_journal_checkpoint_and_resume(tmp_path):
+    """Completed tasks land in the journal; a rerun returns their
+    recorded results without calling fn again (the marker files are
+    written exactly once)."""
+    journal = str(tmp_path / "journal.jsonl")
+    marks = str(tmp_path)
+    recorder = Recorder()
+    first = supervised_map(
+        _mark_and_square, [(marks, 1), (marks, 2)], journal=journal,
+        observe=recorder,
+    )
+    assert first == [1, 4]
+    assert recorder.counters["supervised.tasks"] == 2
+
+    resumed_recorder = Recorder()
+    resumed = supervised_map(
+        _mark_and_square, [(marks, 1), (marks, 2), (marks, 3)],
+        journal=journal, observe=resumed_recorder,
+    )
+    assert resumed == [1, 4, 9]
+    assert resumed_recorder.counters["supervised.resumed"] == 2
+    assert resumed_recorder.counters["supervised.tasks"] == 1
+    with open(os.path.join(marks, "m1")) as handle:
+        assert handle.read() == "x"  # not recalled on resume
+    with open(os.path.join(marks, "m2")) as handle:
+        assert handle.read() == "x"
+
+
+def test_journal_tolerates_torn_trailing_line(tmp_path):
+    path = str(tmp_path / "journal.jsonl")
+    journal = Journal(path)
+    journal.record(Journal.key_for((1,)), 10)
+    journal.close()
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"key": "torn')  # killed mid-write
+    reloaded = Journal(path)
+    assert len(reloaded) == 1
+    assert reloaded.completed[Journal.key_for((1,))] == 10
+    reloaded.record(Journal.key_for((2,)), 20)  # reopens after close
+    reloaded.close()
+    assert len(Journal(path)) == 2
+
+
+def test_journal_keys_are_stable():
+    assert Journal.key_for((1, "a")) == Journal.key_for((1, "a"))
+    assert Journal.key_for((1, "a")) != Journal.key_for((1, "b"))

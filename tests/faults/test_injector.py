@@ -1,0 +1,121 @@
+"""The fault injector's delivery semantics and the outcome classifier."""
+
+import pytest
+
+from repro.compiler import compile_module
+from repro.faults.experiment import (
+    OUTCOMES,
+    reference_run,
+    run_with_plan,
+)
+from repro.faults.injector import perturb
+from repro.faults.plan import FaultPlan, generate_plan
+from repro.partition.strategies import Strategy
+from repro.workloads.kernels.autocorr import Autocorr
+from repro.workloads.kernels.fir import Fir
+
+
+def _compiled(workload, strategy):
+    return compile_module(workload.build(), strategy=strategy)
+
+
+@pytest.fixture(scope="module")
+def dup_program():
+    """Autocorr under CB_DUP: `signal` is duplicated into both banks."""
+    compiled = _compiled(Autocorr(), Strategy.CB_DUP)
+    assert [s.name for s in compiled.allocation.duplicated] == ["signal"]
+    return compiled.program
+
+
+@pytest.fixture(scope="module")
+def plain_program():
+    return _compiled(Fir(32, 1), Strategy.SINGLE_BANK).program
+
+
+def test_perturb_int_is_a_bit_flip():
+    assert perturb(0, 3) == 8
+    assert perturb(8, 3) == 0  # involution: flipping twice restores
+    assert perturb(5, 0) == 4
+
+
+def test_perturb_float_sign_and_magnitude():
+    assert perturb(2.5, 15) == -2.5
+    assert perturb(1.0, 3) == 9.0
+
+
+def test_perturb_passes_odd_values_through():
+    assert perturb(None, 3) is None
+    assert perturb("x", 3) == "x"
+    assert perturb(True, 3) is True  # bools are not machine words
+
+
+def test_targeted_dup_flip_is_detected_and_repaired(dup_program):
+    """Flip one bit in the X image of the duplicated `signal`: the dup
+    cross-check at the same delivery must record a detection and (by
+    default) repair the Y-copy divergence."""
+    symbols = [s.name for s in dup_program.module.globals]
+    plan = FaultPlan(
+        seed=0, cadence=7,
+        events=[["glob", 1, symbols.index("signal"), 0, 3, 0]],
+    )
+    result = run_with_plan(dup_program, plan)
+    assert result["outcome"] == "detected"
+    assert result["detections"]
+    assert result["repairs"] >= 1
+    assert result["applied"][0][1] == "glob"
+    assert result["applied"][0][2] == "signal"
+
+
+def test_detection_without_repair_leaves_divergence(dup_program):
+    symbols = [s.name for s in dup_program.module.globals]
+    plan = FaultPlan(
+        seed=0, cadence=7,
+        events=[["glob", 1, symbols.index("signal"), 0, 3, 0]],
+    )
+    result = run_with_plan(dup_program, plan, repair=False)
+    assert result["outcome"] == "detected"
+    assert result["repairs"] == 0
+
+
+def test_jitter_suppresses_deliveries(plain_program):
+    plan = FaultPlan(seed=0, cadence=7, events=[["jitter", 1, 3]])
+    result = run_with_plan(plain_program, plan)
+    # skip = 1 + 3 % 4 = 4 deliveries swallowed after the event fires
+    assert result["suppressed"] == 4
+    assert ["jitter", 4] == result["applied"][0][1:]
+
+
+def test_stuck_window_reimposes_snapshot(plain_program):
+    plan = FaultPlan(
+        seed=0, cadence=7, events=[["stuck", 1, 0, 0, 4, 14]],
+    )
+    result = run_with_plan(plain_program, plan)
+    assert result["applied"][0][1] == "stuck"
+    assert result["outcome"] in OUTCOMES
+
+
+def test_run_with_plan_is_deterministic(plain_program):
+    plan = generate_plan(11, events=4, horizon=reference_run(plain_program)[0])
+    first = run_with_plan(plain_program, plan)
+    second = run_with_plan(plain_program, plan)
+    assert first == second
+
+
+def test_cycle_budget_hang_classification(plain_program):
+    """A tiny max_cycles trips the runaway guard: the run classifies as
+    a hang with a machine-category error, not a crash."""
+    plan = generate_plan(0, horizon=100)
+    result = run_with_plan(plain_program, plan, max_cycles=8)
+    assert result["outcome"] == "hang"
+    assert result["error"]["category"] == "machine"
+    assert result["digest"] is None
+
+
+def test_disarmed_plan_runs_clean(plain_program):
+    """An event-less plan installs no hook; the run must be masked and
+    cycle-identical to the fault-free reference."""
+    cycles, _state = reference_run(plain_program)
+    result = run_with_plan(plain_program, FaultPlan(seed=0, events=[]))
+    assert result["outcome"] == "masked"
+    assert result["cycles"] == cycles
+    assert result["delivered"] == 0

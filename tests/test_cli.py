@@ -14,6 +14,7 @@ ALL_COMMANDS = (
     "table3",
     "report",
     "fuzz",
+    "faults",
     "graph",
 )
 
@@ -139,6 +140,70 @@ def test_fuzz_archives_failures(capsys, tmp_path, monkeypatch):
     assert glob.glob(corpus + "/test_regression_*.py")
 
 
+def test_fuzz_with_journal_resumes(capsys, tmp_path):
+    """`fuzz --journal` checkpoints seeds through the supervised runner;
+    a rerun resumes from the journal instead of re-checking."""
+    import os
+
+    journal = str(tmp_path / "fuzz.jsonl")
+    corpus = str(tmp_path / "corpus")
+    argv = [
+        "fuzz", "--runs", "2", "--seed", "0", "--corpus", corpus,
+        "--journal", journal,
+    ]
+    assert main(argv) == 0
+    assert "2 runs, 0 oracle violations" in capsys.readouterr().out
+    before = os.path.getmtime(journal)
+    assert main(argv) == 0  # resumed: nothing new lands in the journal
+    assert os.path.getmtime(journal) == before
+
+
+def test_faults_rejects_negative_runs():
+    with pytest.raises(SystemExit):
+        main(["faults", "--runs", "-1"])
+
+
+def test_faults_rejects_unknown_workload():
+    with pytest.raises(SystemExit):
+        main(["faults", "--runs", "1", "--workloads", "nonexistent"])
+
+
+def test_faults_tiny_end_to_end(capsys):
+    assert (
+        main(
+            [
+                "faults", "--runs", "2", "--workloads", "fir_32_1",
+                "--strategies", "SINGLE_BANK,CB_DUP",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "# Resilience report" in out
+    assert "4 faulted runs" in out
+    assert "Dup" in out and "baseline" in out
+
+
+def test_faults_writes_json_report(capsys, tmp_path):
+    import json
+
+    path = str(tmp_path / "resilience.json")
+    assert (
+        main(
+            [
+                "faults", "--runs", "1", "--workloads", "fir_32_1",
+                "--strategies", "CB_DUP", "--json", path,
+            ]
+        )
+        == 0
+    )
+    with open(path) as handle:
+        report = json.load(handle)
+    assert report["runs"] == 1
+    assert set(report["strategies"]) == {"CB_DUP"}
+    assert "obs" in report  # the CLI campaign runs instrumented
+
+
 def test_report_workload_emits_observability_markdown(capsys):
     assert main(["report", "--workload", "fir_32_1", "--strategy", "CB"]) == 0
     out = capsys.readouterr().out
@@ -180,7 +245,9 @@ def test_report_workload_rejects_unknown_names():
 
 #: every subcommand that accepts --backend (kept in sync by
 #: test_backend_flag_inventory)
-BACKEND_COMMANDS = ("run", "compare", "figure7", "figure8", "table3", "report")
+BACKEND_COMMANDS = (
+    "run", "compare", "figure7", "figure8", "table3", "report", "faults",
+)
 
 
 def test_backend_flag_inventory():
