@@ -235,6 +235,10 @@ def _cmd_observability_report(args):
 def cmd_fuzz(args):
     from repro.fuzz.campaign import fuzz_campaign
 
+    backends = None
+    if args.backend is not None:
+        # the reference interpreter plus the backend under test
+        backends = tuple(dict.fromkeys(("interp", args.backend)))
     failures = fuzz_campaign(
         args.runs,
         seed=args.seed,
@@ -245,6 +249,7 @@ def cmd_fuzz(args):
         log=print,
         journal=args.journal,
         timeout=args.timeout,
+        backends=backends,
     )
     return 1 if failures else 0
 
@@ -308,7 +313,7 @@ def build_parser():
             default="interp",
             choices=sorted(BACKENDS),
             help="simulator backend: reference interpreter, threaded code, "
-            "or loop-specializing codegen",
+            "loop-specializing codegen, or batched lockstep lanes",
         )
 
     def nonnegative_int(text):
@@ -415,6 +420,12 @@ def build_parser():
         "--journal", default=None, metavar="PATH",
         help="checkpoint completed seeds to PATH; rerunning with the "
         "same arguments resumes where the campaign stopped",
+    )
+    fuzz.add_argument(
+        "--backend", default=None, choices=sorted(BACKENDS),
+        help="restrict the oracle's backend-identity stage to the "
+        "reference interpreter plus this backend (default: all "
+        "registered backends)",
     )
     fuzz.add_argument(
         "--timeout", type=float, default=None, metavar="SEC",

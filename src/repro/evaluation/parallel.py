@@ -190,6 +190,118 @@ def parallel_map(fn, argument_tuples, jobs=None):
 
 
 # ----------------------------------------------------------------------
+# Batched fan-out (lockstep lanes instead of processes)
+# ----------------------------------------------------------------------
+def program_fingerprint(program):
+    """Content hash of a compiled program: the formatted instruction
+    stream plus function entries — what determines whether two tasks can
+    share one lockstep batch.  Deterministic compiles of the same module
+    under the same strategy fingerprint identically, so campaign tasks
+    group even when each built its program independently."""
+    import hashlib
+
+    digest = hashlib.sha256()
+    for instruction in program.instructions:
+        digest.update(repr(instruction).encode())
+    digest.update(repr(sorted(program.function_entries.items())).encode())
+    return digest.hexdigest()
+
+
+class BatchTaskResult:
+    """Outcome of one :func:`batch_map` task.
+
+    ``result`` is the :class:`~repro.sim.simulator.SimulationResult`
+    and ``outputs`` maps each requested global to its final value(s);
+    on a simulated fault both are None and ``error`` holds the
+    exception the scalar backend would have raised.
+    """
+
+    __slots__ = ("result", "outputs", "error")
+
+    def __init__(self, result=None, outputs=None, error=None):
+        self.result = result
+        self.outputs = outputs
+        self.error = error
+
+
+def batch_map(tasks, lanes=64, backend="batch", observe=NULL_RECORDER):
+    """Run simulation *tasks*, batching compatible ones into lockstep lanes.
+
+    The third fan-out primitive, sibling to :func:`parallel_map` (process
+    pool) and :func:`supervised_map` (resilient pool): instead of paying
+    one process and one simulator per instance, tasks whose compiled
+    programs share a content fingerprint execute together on the
+    :class:`~repro.sim.batchsim.BatchSimulator`, up to *lanes* instances
+    per lockstep slab.  Each task is a ``(program, writes, reads)``
+    triple:
+
+    * ``program`` — a compiled machine program (tasks group by
+      :func:`program_fingerprint`, so identical programs batch no matter
+      how many times they were compiled);
+    * ``writes`` — ``{global name: value or values}`` applied to that
+      instance before the run (its per-instance inputs);
+    * ``reads`` — iterable of global names to read back after the run.
+
+    Results come back in task order as :class:`BatchTaskResult`.  With a
+    scalar *backend* name (``interp``/``fast``/``jit``) the same tasks
+    run one simulator per instance instead — bit-identical by the batch
+    backend's contract, which is what the speedup benchmark and the
+    differential tests compare against.
+    """
+    from repro.sim.fastsim import make_simulator
+
+    tasks = [(program, dict(writes or {}), tuple(reads))
+             for program, writes, reads in tasks]
+    results = [None] * len(tasks)
+    if backend != "batch":
+        for index, (program, writes, reads) in enumerate(tasks):
+            simulator = make_simulator(program, backend=backend)
+            for name, values in writes.items():
+                simulator.write_global(name, values)
+            try:
+                result = simulator.run()
+            except Exception as error:  # parity with LaneOutcome.error
+                results[index] = BatchTaskResult(error=error)
+                continue
+            outputs = {name: simulator.read_global(name) for name in reads}
+            results[index] = BatchTaskResult(result, outputs)
+        return results
+
+    from repro.sim.batchsim import BatchSimulator
+
+    groups = {}
+    fingerprints = {}
+    for index, (program, _writes, _reads) in enumerate(tasks):
+        fingerprint = fingerprints.get(id(program))
+        if fingerprint is None:
+            fingerprint = program_fingerprint(program)
+            fingerprints[id(program)] = fingerprint
+        groups.setdefault(fingerprint, (program, []))[1].append(index)
+    observe.counter("batch.groups", len(groups))
+    for program, members in groups.values():
+        for start in range(0, len(members), lanes):
+            slab = members[start : start + lanes]
+            observe.counter("batch.slabs")
+            observe.counter("batch.instances", len(slab))
+            simulator = BatchSimulator(program, lanes=len(slab))
+            for lane, index in enumerate(slab):
+                for name, values in tasks[index][1].items():
+                    simulator.write_global_lane(lane, name, values)
+            for lane, outcome in enumerate(simulator.run_batch()):
+                index = slab[lane]
+                reads = tasks[index][2]
+                if outcome.error is not None:
+                    results[index] = BatchTaskResult(error=outcome.error)
+                else:
+                    outputs = {
+                        name: outcome.state.read_global(name)
+                        for name in reads
+                    }
+                    results[index] = BatchTaskResult(outcome.result, outputs)
+    return results
+
+
+# ----------------------------------------------------------------------
 # Checkpoint journal
 # ----------------------------------------------------------------------
 class Journal:
@@ -202,6 +314,14 @@ class Journal:
     Task results must therefore be JSON-serializable; tuples come back
     as lists on resume.
 
+    :func:`supervised_map` additionally checkpoints tasks *in flight*:
+    ``{"key": ..., "attempt": N, "started": true}`` is appended when
+    attempt N is dispatched.  On load, the highest started attempt of
+    every task without a completed record lands in ``started`` — how a
+    resumed run knows an interrupted attempt already consumed retry
+    budget, charging it exactly once instead of zero times (an
+    infinite crash/resume loop) or twice.
+
     Consumed by :func:`supervised_map` (and through it the fault and
     fuzz campaigns) and by :func:`repro.evaluation.sweeps.sweep`.
     """
@@ -210,6 +330,8 @@ class Journal:
         self.path = path
         #: canonical key -> recorded result, as loaded plus appended
         self.completed = {}
+        #: canonical key -> highest attempt checkpointed as in flight
+        self.started = {}
         self._handle = None
         if path and os.path.exists(path):
             with open(path, "r", encoding="utf-8") as handle:
@@ -221,8 +343,17 @@ class Journal:
                         entry = json.loads(line)
                     except ValueError:
                         continue  # torn write from a killed process
-                    if isinstance(entry, dict) and "key" in entry:
+                    if not (isinstance(entry, dict) and "key" in entry):
+                        continue
+                    if entry.get("started"):
+                        attempt = int(entry.get("attempt", 1))
+                        if attempt > self.started.get(entry["key"], 0):
+                            self.started[entry["key"]] = attempt
+                    else:
                         self.completed[entry["key"]] = entry.get("result")
+                        # the completion supersedes any in-flight
+                        # checkpoints this task left behind
+                        self.started.pop(entry["key"], None)
 
     @staticmethod
     def key_for(arguments):
@@ -236,9 +367,7 @@ class Journal:
     def __len__(self):
         return len(self.completed)
 
-    def record(self, key, result):
-        """Append one completed entry and flush it to disk immediately
-        (reopens the file if the journal was closed)."""
+    def _append(self, entry):
         if self._handle is None:
             directory = os.path.dirname(self.path)
             if directory:
@@ -251,11 +380,23 @@ class Journal:
                     probe.seek(-1, os.SEEK_END)
                     if probe.read(1) != b"\n":
                         self._handle.write("\n")
-        self._handle.write(
-            json.dumps({"key": key, "result": result}, sort_keys=True) + "\n"
-        )
+        self._handle.write(json.dumps(entry, sort_keys=True) + "\n")
         self._handle.flush()
+
+    def record(self, key, result):
+        """Append one completed entry and flush it to disk immediately
+        (reopens the file if the journal was closed)."""
+        self._append({"key": key, "result": result})
         self.completed[key] = result
+        self.started.pop(key, None)
+
+    def mark_started(self, key, attempt):
+        """Checkpoint attempt *attempt* of task *key* as in flight, so
+        a supervisor death mid-task charges the attempt exactly once on
+        resume."""
+        self._append({"key": key, "attempt": attempt, "started": True})
+        if attempt > self.started.get(key, 0):
+            self.started[key] = attempt
 
     def close(self):
         """Flush and close the underlying file (the journal stays usable;
@@ -331,12 +472,18 @@ def _pop_eligible(queue, now):
 
 
 def _run_serial(fn, arguments, pending, results, retries, backoff,
-                retry_errors, journal, emit, observe):
+                retry_errors, journal, emit, observe, initial=None):
     """Serial leg of :func:`supervised_map`: same retry and journal
-    semantics, no timeouts (nothing to terminate in-process)."""
+    semantics, no timeouts (nothing to terminate in-process).
+
+    ``initial`` maps task index -> first attempt number (resumed tasks
+    whose prior attempt was checkpointed in flight start past 1)."""
+    initial = initial or {}
     for index in pending:
-        attempt = 1
+        attempt = initial.get(index, 1)
         while True:
+            if journal is not None:
+                journal.mark_started(Journal.key_for(arguments[index]), attempt)
             try:
                 result = fn(*arguments[index])
             except KeyboardInterrupt:
@@ -361,7 +508,7 @@ def _run_serial(fn, arguments, pending, results, retries, backoff,
 
 def _run_supervised_pool(fn, arguments, pending, results, jobs, timeout,
                          retries, backoff, retry_errors, degrade_after,
-                         journal, emit, observe):
+                         journal, emit, observe, initial=None):
     """Pool leg of :func:`supervised_map` (see its docstring for the
     contract).  Own Process/Pipe supervisor rather than an executor:
     per-task deadlines require terminating individual workers, which
@@ -369,9 +516,10 @@ def _run_supervised_pool(fn, arguments, pending, results, jobs, timeout,
     import multiprocessing
 
     context = multiprocessing.get_context()
+    initial = initial or {}
     if degrade_after is None:
         degrade_after = max(3, jobs + 1)
-    queue = deque((index, 1, 0.0) for index in pending)
+    queue = deque((index, initial.get(index, 1), 0.0) for index in pending)
     remaining = len(pending)
     workers = []
     consecutive_failures = 0
@@ -454,11 +602,16 @@ def _run_supervised_pool(fn, arguments, pending, results, jobs, timeout,
                         queue.append((worker.task[0], worker.task[1], 0.0))
                         worker.task = None
                     retire(worker)
-                serial_pending = sorted({entry[0] for entry in queue})
+                serial_initial = {}
+                for entry in queue:
+                    if entry[1] > serial_initial.get(entry[0], 0):
+                        serial_initial[entry[0]] = entry[1]
+                serial_pending = sorted(serial_initial)
                 queue.clear()
                 _run_serial(
                     fn, arguments, serial_pending, results, retries, backoff,
                     retry_errors, journal, emit, observe,
+                    initial=serial_initial,
                 )
                 return
             # Reap idle workers that died between tasks, then dispatch.
@@ -474,6 +627,10 @@ def _run_supervised_pool(fn, arguments, pending, results, jobs, timeout,
                     break
                 index, attempt, _eligible = entry
                 worker = idle.pop()
+                if journal is not None:
+                    journal.mark_started(
+                        Journal.key_for(arguments[index]), attempt
+                    )
                 try:
                     worker.connection.send((index, fn, arguments[index]))
                 except (OSError, BrokenPipeError):
@@ -590,13 +747,20 @@ def supervised_map(fn, argument_tuples, jobs=None, timeout=None, retries=2,
     emit = log if log is not None else (lambda message: None)
     results = [None] * len(arguments)
     pending = []
+    initial = {}
     for index, task_arguments in enumerate(arguments):
         key = Journal.key_for(task_arguments)
         if journal is not None and key in journal.completed:
             results[index] = journal.completed[key]
             observe.counter("supervised.resumed")
-        else:
-            pending.append(index)
+            continue
+        pending.append(index)
+        if journal is not None and key in journal.started:
+            # the attempt interrupted by the supervisor's death already
+            # consumed one unit of retry budget — charge it once, not
+            # zero times (unbounded crash loops) or twice.
+            initial[index] = journal.started[key] + 1
+            observe.counter("supervised.resumed_inflight")
     observe.counter("supervised.tasks", len(pending))
     if not pending:
         return results
@@ -604,12 +768,13 @@ def supervised_map(fn, argument_tuples, jobs=None, timeout=None, retries=2,
         if not jobs or jobs == 1 or (len(pending) == 1 and timeout is None):
             _run_serial(
                 fn, arguments, pending, results, retries, backoff,
-                retry_errors, journal, emit, observe,
+                retry_errors, journal, emit, observe, initial=initial,
             )
         else:
             _run_supervised_pool(
                 fn, arguments, pending, results, jobs, timeout, retries,
                 backoff, retry_errors, degrade_after, journal, emit, observe,
+                initial=initial,
             )
     finally:
         if journal is not None:

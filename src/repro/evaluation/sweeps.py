@@ -17,7 +17,7 @@ from repro.compiler import compile_module
 from repro.cost.model import CostModel
 from repro.frontend import ProgramBuilder
 from repro.partition.strategies import Strategy
-from repro.sim.simulator import Simulator
+from repro.sim.fastsim import make_simulator
 
 
 class SweepPoint:
@@ -37,14 +37,15 @@ class SweepPoint:
         )
 
 
-def _measure(module, strategy, observe=None):
+def _measure(module, strategy, observe=None, backend="interp"):
     compiled = compile_module(module, strategy=strategy, observe=observe)
-    simulator = Simulator(compiled.program)
+    simulator = make_simulator(compiled.program, backend=backend)
     result = simulator.run()
     return result.cycles, CostModel().measure(compiled, result).total
 
 
-def sweep(factory, parameters, strategies, observe=None, journal=None):
+def sweep(factory, parameters, strategies, observe=None, journal=None,
+          backend="interp"):
     """Measure ``factory(parameter)`` under each strategy.
 
     ``factory`` must return a fresh module per call. Returns
@@ -61,6 +62,12 @@ def sweep(factory, parameters, strategies, observe=None, journal=None):
     (parameter, strategy) point is recorded, and a rerun skips the
     points already journaled — sweeps are deterministic, so resumed
     curves equal uninterrupted ones.
+
+    ``backend`` selects the simulator backend for every point (any
+    :data:`~repro.sim.fastsim.BACKENDS` name, including ``batch``);
+    results are bit-identical across backends, so it is purely a
+    throughput knob.  Journals written under one backend resume under
+    any other (the checkpoint key is backend-independent by design).
     """
     if observe is None:
         from repro.obs.core import NULL_RECORDER as observe
@@ -79,6 +86,7 @@ def sweep(factory, parameters, strategies, observe=None, journal=None):
                 from repro.evaluation.parallel import Journal
 
                 key = Journal.key_for(("sweep", repr(parameter), strategy.name))
+
                 if key in journal.completed:
                     cycles, cost = journal.completed[key]
                     observe.counter("sweep.resumed")
@@ -86,7 +94,8 @@ def sweep(factory, parameters, strategies, observe=None, journal=None):
                     continue
             with observe.span("point") as span:
                 cycles, cost = _measure(
-                    factory(parameter), strategy, observe=observe
+                    factory(parameter), strategy, observe=observe,
+                    backend=backend,
                 )
                 span.set(
                     parameter=parameter,
@@ -104,14 +113,14 @@ def sweep(factory, parameters, strategies, observe=None, journal=None):
 # ----------------------------------------------------------------------
 # Predefined studies
 # ----------------------------------------------------------------------
-def kernel_size_sweep(taps_list=(8, 16, 32, 64, 128)):
+def kernel_size_sweep(taps_list=(8, 16, 32, 64, 128), backend="interp"):
     """CB gain for an FIR filter as the tap count grows."""
     from repro.workloads.kernels.fir import Fir
 
     def factory(taps):
         return Fir(taps, 4).build()
 
-    rows = sweep(factory, taps_list, [Strategy.CB])
+    rows = sweep(factory, taps_list, [Strategy.CB], backend=backend)
     series = []
     for taps in taps_list:
         base = rows[taps][Strategy.SINGLE_BANK].cycles

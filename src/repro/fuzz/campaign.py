@@ -51,11 +51,18 @@ def _failure_summary(exc):
     return (type(exc).__name__, str(exc))
 
 
-def check_seed(seed, max_statements=6):
-    """Worker entry point: oracle one seed; (seed, None) when it passes."""
+def check_seed(seed, max_statements=6, backends=None):
+    """Worker entry point: oracle one seed; (seed, None) when it passes.
+
+    ``backends`` restricts the oracle's backend-identity stage (None =
+    the full :data:`~repro.fuzz.oracle.ORACLE_BACKENDS` set); the CLI's
+    ``--backend B`` maps to ``("interp", B)`` — the reference plus the
+    backend under test.
+    """
     recipe = generate_recipe(seed, max_statements=max_statements)
+    kwargs = {} if backends is None else {"backends": tuple(backends)}
     try:
-        check_recipe(recipe)
+        check_recipe(recipe, **kwargs)
     except Exception as exc:  # any failure is a finding
         return seed, _failure_summary(exc)
     return seed, None
@@ -113,6 +120,7 @@ def fuzz_campaign(
     log=None,
     journal=None,
     timeout=None,
+    backends=None,
 ):
     """Run *runs* oracle checks; shrink and archive every failure.
 
@@ -129,15 +137,16 @@ def fuzz_campaign(
 
     emit = log or (lambda message: None)
     seeds = range(seed, seed + runs)
+    if backends is not None:
+        backends = tuple(backends)
+    tasks = [(s, max_statements, backends) for s in seeds]
     if journal is not None or timeout is not None:
         outcomes = supervised_map(
-            check_seed, [(s, max_statements) for s in seeds], jobs=jobs,
+            check_seed, tasks, jobs=jobs,
             journal=journal, timeout=timeout, log=log,
         )
     else:
-        outcomes = parallel_map(
-            check_seed, [(s, max_statements) for s in seeds], jobs=jobs
-        )
+        outcomes = parallel_map(check_seed, tasks, jobs=jobs)
     failures = []
     for outcome_seed, summary in outcomes:
         if summary is None:

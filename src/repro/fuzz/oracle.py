@@ -55,7 +55,7 @@ ORACLE_STRATEGIES = (
 )
 
 #: every simulator backend, checked against each other per strategy
-ORACLE_BACKENDS = ("interp", "fast", "jit")
+ORACLE_BACKENDS = ("interp", "fast", "jit", "batch")
 
 
 class OracleViolation(AssertionError):

@@ -23,12 +23,15 @@ from repro.sim.errors import (
 )
 from repro.sim.fastsim import BACKENDS, FastSimulator, make_simulator
 from repro.sim.loopjit import LoopJitSimulator
+from repro.sim.batchsim import BatchSimulator, LaneOutcome
 from repro.sim.tracing import collect_block_counts, profile_module
 from repro.sim.interrupts import InterruptInjector
 from repro.sim.statistics import UtilizationReport, utilization
 
 __all__ = [
     "BACKENDS",
+    "BatchSimulator",
+    "LaneOutcome",
     "CycleLimitError",
     "FastSimulator",
     "InternalError",

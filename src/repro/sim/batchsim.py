@@ -1,0 +1,899 @@
+"""Batched lockstep backend: N instances of one program per dispatch.
+
+Fuzz, fault, and sweep campaigns run thousands of *near-identical*
+simulations: the same compiled program over different input data.  The
+scalar backends pay full price per instance — simulator construction,
+closure binding, and one Python dispatch per instruction per instance.
+This backend executes N instances ("lanes") of the same program in
+lockstep with structure-of-arrays state: every memory cell and register
+slot holds either a plain Python scalar (all lanes agree — the common
+case) or a NumPy array of shape ``[N]`` holding one value per lane.
+One generated step closure then executes each instruction once for all
+lanes, turning per-lane arithmetic into array operations the way
+:mod:`repro.sim.loopjit` turns per-cycle dispatch into native loops.
+
+Bit-identity with the reference interpreter is non-negotiable (the fuzz
+oracle diffs final state down to ``repr``), which dictates the value
+model:
+
+* integer/address lanes vectorize as ``dtype=object`` arrays of Python
+  ints — unbounded precision, no silent int64 wraparound;
+* float lanes vectorize as ``float64`` arrays — IEEE-754 doubles, the
+  exact representation of a Python float, with ``+ - * /`` bit-equal to
+  the scalar operators;
+* every vector-hostile form in the generated code (``1 if a < b else
+  0``, ``min``/``max``, ``int()``/``float()`` casts, shifts, ``**
+  0.5``) is replaced by a helper that reproduces exact Python scalar
+  semantics elementwise (see ``_HELPERS``);
+* scalars extracted from arrays always pass through ``ndarray.item``,
+  which returns genuine Python objects, so ``np.float64`` never leaks
+  into scalar state (it would survive ``==`` but break digests).
+
+Divergence protocol (peel-off / rejoin): control flow must stay uniform
+inside a lane group.  Control inputs — branch conditions, loop trip
+counts, effective addresses, return addresses, operands of non-inlined
+evaluators — are guarded: a uniform vector collapses back to a scalar,
+a truly divergent one raises :class:`_LaneSplit` *during the read
+phase*, before anything commits.  The dispatcher rolls the cycle and
+pc count back, partitions the lanes by the offending value, slices the
+group into child groups (a single-lane child collapses to all-scalar
+state, i.e. the "peel" is the same step table running at scalar
+types), and re-dispatches the same instruction in each child, where
+the guard now collapses.  While several groups are in flight the
+dispatcher advances them one instruction per round, so groups that
+reach the same pc with equal cycle count, loop/call stacks, and lock
+state — balanced branch arms meeting at the superblock join — are
+coalesced back into one vectorized group.  Lanes with an interrupt
+hook never enter lockstep at all: each runs on its own scalar
+:class:`~repro.sim.loopjit.LoopJitSimulator` seeded with that lane's
+initial state (fault-arming and cadence-mismatched lanes take this
+path), which keeps hook visibility bit-exact by construction.
+
+Cycle and pc-count accounting across splits and merges: every group
+counts from zero; when a group is split, merged, or retired its counts
+are folded into per-lane accumulators, so a lane's final ``pc_counts``
+is the sum over the chain of groups it travelled through.  Cycle
+counts stay uniform within a group (control is uniform), so the
+group's ``cycle`` field is exact for all its lanes.
+"""
+
+import numpy as np
+
+from repro.ir.operations import OpCode
+from repro.ir.symbols import MemoryBank
+from repro.ir.types import RegClass
+from repro.sim.fastsim import (
+    BACKENDS,
+    FastSimulator,
+    _BINARY_EXPR,
+    _UNARY_EXPR,
+)
+from repro.sim.loopjit import LoopJitSimulator
+from repro.sim.simulator import (
+    SimulationError,
+    SimulationResult,
+    Simulator,
+    _BANK_X,
+    _BANK_Y,
+)
+
+_ndarray = np.ndarray
+
+
+class _LaneSplit(Exception):
+    """Lanes disagreed on a control input; carries the per-lane values.
+
+    Deliberately *not* a :class:`SimulationError`: this is a dispatcher
+    signal, never a machine fault, and must not be annotated or
+    reported.  Raised only during an instruction's read phase, so the
+    dispatcher can rewind the cycle accounting and re-execute the
+    instruction in the split-off groups.
+    """
+
+    def __init__(self, vector):
+        self.vector = vector
+
+
+def _collapse(vector):
+    """Uniform vector -> its scalar value; divergent -> :class:`_LaneSplit`.
+
+    ``item()`` (not ``[0]``) so floats come back as Python floats, ints
+    as Python ints.  An all-NaN vector never collapses (NaN != NaN) and
+    splits down to single lanes, which run at scalar types — the exact
+    per-lane semantics, just slower.
+    """
+    first = vector.item(0)
+    if (vector == first).all():
+        return first
+    raise _LaneSplit(vector)
+
+
+def _ceq(a, b):
+    if a.__class__ is _ndarray or b.__class__ is _ndarray:
+        return np.where(a == b, 1, 0).astype(object)
+    return 1 if a == b else 0
+
+
+def _cne(a, b):
+    if a.__class__ is _ndarray or b.__class__ is _ndarray:
+        return np.where(a != b, 1, 0).astype(object)
+    return 1 if a != b else 0
+
+
+def _clt(a, b):
+    if a.__class__ is _ndarray or b.__class__ is _ndarray:
+        return np.where(a < b, 1, 0).astype(object)
+    return 1 if a < b else 0
+
+
+def _cle(a, b):
+    if a.__class__ is _ndarray or b.__class__ is _ndarray:
+        return np.where(a <= b, 1, 0).astype(object)
+    return 1 if a <= b else 0
+
+
+def _cgt(a, b):
+    if a.__class__ is _ndarray or b.__class__ is _ndarray:
+        return np.where(a > b, 1, 0).astype(object)
+    return 1 if a > b else 0
+
+
+def _cge(a, b):
+    if a.__class__ is _ndarray or b.__class__ is _ndarray:
+        return np.where(a >= b, 1, 0).astype(object)
+    return 1 if a >= b else 0
+
+
+def _vmin(a, b):
+    # np.where(b < a, b, a) reproduces Python min exactly, including
+    # min(0.0, -0.0) == 0.0 (first argument wins on ties) and NaN
+    # propagation from the first argument only.
+    if a.__class__ is _ndarray or b.__class__ is _ndarray:
+        return np.where(b < a, b, a)
+    return min(a, b)
+
+
+def _vmax(a, b):
+    if a.__class__ is _ndarray or b.__class__ is _ndarray:
+        return np.where(b > a, b, a)
+    return max(a, b)
+
+
+def _vshl(a, b):
+    if b.__class__ is _ndarray:
+        b = _collapse(b)
+    if b < 0 and a.__class__ is _ndarray:
+        # object arrays raise one array-wide error; pre-empt it with the
+        # exact per-lane scalar exception (uniform across the group).
+        raise ValueError("negative shift count")
+    return a << b
+
+
+def _vshr(a, b):
+    if b.__class__ is _ndarray:
+        b = _collapse(b)
+    if b < 0 and a.__class__ is _ndarray:
+        raise ValueError("negative shift count")
+    return a >> b
+
+
+def _vfdiv(a, b):
+    if b.__class__ is _ndarray:
+        # a divergent divisor must split (some lanes would raise, some
+        # not); a uniform zero divisor raises for every lane, exactly
+        # like the scalar backends.
+        b = _collapse(b)
+    if b == 0 and a.__class__ is _ndarray:
+        raise ZeroDivisionError("float division by zero")
+    return a / b
+
+
+def _vftoi(a):
+    if a.__class__ is not _ndarray:
+        return int(a)
+    return np.array([int(v) for v in a.tolist()], dtype=object)
+
+
+def _vitof(a):
+    if a.__class__ is not _ndarray:
+        return float(a)
+    return np.array([float(v) for v in a.tolist()], dtype=np.float64)
+
+
+def _vfsqrt(a):
+    if a.__class__ is not _ndarray:
+        return a ** 0.5
+    values = [v ** 0.5 for v in a.tolist()]
+    # a negative input yields a complex result in Python (float ** 0.5
+    # falls back to complex pow); keep it, on an object array.
+    if any(v.__class__ is complex for v in values):
+        out = np.empty(len(values), dtype=object)
+        for i, v in enumerate(values):
+            out[i] = v
+        return out
+    return np.array(values, dtype=np.float64)
+
+
+#: globals injected into every generated-code namespace
+_HELPERS = {
+    "_ND": _ndarray,
+    "_ck": _collapse,
+    "_ceq": _ceq,
+    "_cne": _cne,
+    "_clt": _clt,
+    "_cle": _cle,
+    "_cgt": _cgt,
+    "_cge": _cge,
+    "_vmin": _vmin,
+    "_vmax": _vmax,
+    "_vshl": _vshl,
+    "_vshr": _vshr,
+    "_vfdiv": _vfdiv,
+    "_vftoi": _vftoi,
+    "_vitof": _vitof,
+    "_vfsqrt": _vfsqrt,
+}
+
+
+def _batch_tables():
+    """Vector-safe variants of the scalar expression tables."""
+    binary = dict(_BINARY_EXPR)
+    unary = dict(_UNARY_EXPR)
+    comparators = {
+        "_ceq": (OpCode.CMPEQ, OpCode.FCMPEQ, OpCode.ACMPEQ),
+        "_cne": (OpCode.CMPNE, OpCode.FCMPNE, OpCode.ACMPNE),
+        "_clt": (OpCode.CMPLT, OpCode.FCMPLT, OpCode.ACMPLT),
+        "_cle": (OpCode.CMPLE, OpCode.FCMPLE, OpCode.ACMPLE),
+        "_cgt": (OpCode.CMPGT, OpCode.FCMPGT, OpCode.ACMPGT),
+        "_cge": (OpCode.CMPGE, OpCode.FCMPGE, OpCode.ACMPGE),
+    }
+    for helper, opcodes in comparators.items():
+        for opcode in opcodes:
+            binary[opcode] = "%s({a}, {b})" % helper
+    for opcode in (OpCode.MIN, OpCode.FMIN):
+        binary[opcode] = "_vmin({a}, {b})"
+    for opcode in (OpCode.MAX, OpCode.FMAX):
+        binary[opcode] = "_vmax({a}, {b})"
+    binary[OpCode.SHL] = "_vshl({a}, {b})"
+    binary[OpCode.SHR] = "_vshr({a}, {b})"
+    binary[OpCode.FDIV] = "_vfdiv({a}, {b})"
+    unary[OpCode.ITOF] = "_vitof({a})"
+    unary[OpCode.FTOI] = "_vftoi({a})"
+    unary[OpCode.FSQRT] = "_vfsqrt({a})"
+    return binary, unary
+
+
+def _lane_scalar(cell, position):
+    if cell.__class__ is _ndarray:
+        return cell.item(position)
+    return cell
+
+
+class LaneOutcome:
+    """Result of one lane of a :meth:`BatchSimulator.run_batch` run.
+
+    Exactly one of ``result`` (a :class:`SimulationResult`) and
+    ``error`` (the exception the scalar backend would have raised) is
+    set; ``state`` exposes the lane's final architectural state with
+    the usual ``read_global`` / ``state_digest`` surface.
+    """
+
+    __slots__ = ("lane", "result", "error", "state")
+
+    def __init__(self, lane):
+        self.lane = lane
+        self.result = None
+        self.error = None
+        self.state = None
+
+    def __repr__(self):
+        status = "error=%r" % self.error if self.error else repr(self.result)
+        return "<LaneOutcome lane=%d %s>" % (self.lane, status)
+
+
+class _LaneView:
+    """Scalar projection of one lane of a finished multi-lane group.
+
+    ``read_global`` extracts just the requested cells; the full
+    ``memory`` / ``registers`` projections (and therefore
+    ``state_digest``) materialize lazily on first touch.
+    """
+
+    def __init__(self, group, position):
+        self._group = group
+        self._position = position
+        self.program = group.program
+        self.sp = list(group.sp)
+        self.sp_min = list(group.sp_min)
+        self.pc = group.pc
+        self.cycle = group.cycle
+        self.halted = group.halted
+        self._memory = None
+        self._registers = None
+
+    @property
+    def memory(self):
+        if self._memory is None:
+            position = self._position
+            self._memory = [
+                [_lane_scalar(cell, position) for cell in bank]
+                for bank in self._group.memory
+            ]
+        return self._memory
+
+    @property
+    def registers(self):
+        if self._registers is None:
+            position = self._position
+            self._registers = {
+                rclass: [_lane_scalar(cell, position) for cell in rfile]
+                for rclass, rfile in self._group.registers.items()
+            }
+        return self._registers
+
+    def read_global(self, name):
+        symbol = self.program.module.globals.get(name)
+        bank, base = self.program.layout.address_of(name)
+        index = _BANK_X if bank in (MemoryBank.X, MemoryBank.BOTH) else _BANK_Y
+        position = self._position
+        values = [
+            _lane_scalar(cell, position)
+            for cell in self._group.memory[index][base : base + symbol.size]
+        ]
+        return values[0] if symbol.size == 1 else values
+
+    def read_global_copy(self, name, bank):
+        symbol = self.program.module.globals.get(name)
+        _bank, base = self.program.layout.address_of(name)
+        position = self._position
+        index = {MemoryBank.X: _BANK_X, MemoryBank.Y: _BANK_Y}[bank]
+        return [
+            _lane_scalar(cell, position)
+            for cell in self._group.memory[index][base : base + symbol.size]
+        ]
+
+    state_digest = Simulator.state_digest
+
+
+class BatchSimulator(FastSimulator):
+    """Lockstep simulator over ``lanes`` instances of one program.
+
+    With the default ``lanes=1`` this is a drop-in scalar backend (the
+    guards never fire on scalar state, so ``run()`` is bit-identical to
+    the interpreter by the same construction as the fast backend); with
+    ``lanes=N`` seed per-lane inputs via :meth:`write_global_lane` and
+    collect per-lane results from :meth:`run_batch`.
+    """
+
+    backend_name = "batch"
+
+    _binary_expr, _unary_expr = _batch_tables()
+
+    def __init__(self, program, lanes=1, **kwargs):
+        if lanes < 1:
+            raise ValueError("lanes must be >= 1, got %d" % lanes)
+        super().__init__(program, **kwargs)
+        self.lanes = lanes
+        self.lane_ids = list(range(lanes))
+        self._lane_hooks = {}
+
+    # ------------------------------------------------------------------
+    # Codegen hooks (see fastsim)
+    # ------------------------------------------------------------------
+    def _exec_namespace(self):
+        return dict(_HELPERS)
+
+    def _guard_uniform(self, name, cb):
+        cb.reads.append(
+            "if %s.__class__ is _ND: %s = _ck(%s)" % (name, name, name)
+        )
+
+    def _fallback_expr(self, info, sources, cb):
+        # Generic OpInfo.evaluate callables are scalar-only; force each
+        # operand uniform (collapse or split) before the call.
+        guarded = []
+        for source in sources:
+            temp = cb.temp()
+            cb.reads.append("%s = %s" % (temp, source))
+            self._guard_uniform(temp, cb)
+            guarded.append(temp)
+        return super()._fallback_expr(info, guarded, cb)
+
+    def _do_ret(self):
+        # Peek the return-address cell before super() mutates sp and the
+        # call stack: a divergent return address must split with the
+        # machine state untouched.
+        if len(self.call_stack) > 1:
+            frame = self.call_stack[-1][1]
+            slot = self.sp[_BANK_X] + frame.size_x
+            cell = self.memory[_BANK_X][slot]
+            if cell.__class__ is _ndarray:
+                self.memory[_BANK_X][slot] = _collapse(cell)
+        return super()._do_ret()
+
+    # ------------------------------------------------------------------
+    # Per-lane input
+    # ------------------------------------------------------------------
+    def set_lane_hook(self, lane, hook):
+        """Install an interrupt hook for one lane.
+
+        Hooked lanes are peeled to a scalar jit simulator by
+        :meth:`run_batch` (hook delivery is inherently per-instance),
+        while the remaining lanes run in lockstep.
+        """
+        if not 0 <= lane < self.lanes:
+            raise ValueError("lane %d out of range" % lane)
+        self._lane_hooks[lane] = hook
+
+    def write_global_lane(self, lane, name, values):
+        """Per-lane :meth:`write_global`: set one lane's copy of *name*.
+
+        The touched cells broadcast to ``[lanes]`` vectors on first
+        per-lane write; untouched cells stay scalar.
+        """
+        if not 0 <= lane < self.lanes:
+            raise ValueError("lane %d out of range" % lane)
+        symbol = self.program.module.globals.get(name)
+        if not isinstance(values, (list, tuple)):
+            values = [values]
+        if len(values) > symbol.size:
+            raise ValueError(
+                "%d values for %s[%d]" % (len(values), name, symbol.size)
+            )
+        bank, base = self._global_location(name)
+        if bank is MemoryBank.BOTH:
+            targets = (_BANK_X, _BANK_Y)
+        else:
+            targets = (_BANK_X if bank is MemoryBank.X else _BANK_Y,)
+        for target in targets:
+            memory = self.memory[target]
+            for i, value in enumerate(values):
+                address = base + i
+                cell = memory[address]
+                if cell.__class__ is not _ndarray:
+                    if self.lanes == 1:
+                        memory[address] = value
+                        continue
+                    cell = self._broadcast(cell, value)
+                    memory[address] = cell
+                elif cell.dtype is not np.dtype(object) and type(
+                    value
+                ) is not float:
+                    # keep exact types: a non-float landing in a float64
+                    # vector would be coerced, so widen to object first
+                    widened = np.empty(self.lanes, dtype=object)
+                    for j, v in enumerate(cell.tolist()):
+                        widened[j] = v
+                    cell = widened
+                    memory[address] = cell
+                cell[lane] = value
+
+    def write_global_lanes(self, name, rows):
+        """Write a different value set into every lane: ``rows[lane]``."""
+        if len(rows) != self.lanes:
+            raise ValueError(
+                "%d rows for %d lanes" % (len(rows), self.lanes)
+            )
+        for lane, values in enumerate(rows):
+            self.write_global_lane(lane, name, values)
+
+    def _broadcast(self, current, incoming):
+        if type(current) is float and type(incoming) is float:
+            return np.full(self.lanes, current)
+        cell = np.empty(self.lanes, dtype=object)
+        cell[:] = current
+        return cell
+
+    # ------------------------------------------------------------------
+    # Peeling (hooked lanes run on the scalar jit path)
+    # ------------------------------------------------------------------
+    def _peel(self, lane, hook):
+        peer = LoopJitSimulator(
+            self.program,
+            stack_words=self.stack_words,
+            max_cycles=self.max_cycles,
+            interrupt_hook=hook,
+            check_bounds=self.check_bounds,
+        )
+        for bank in (_BANK_X, _BANK_Y):
+            source = self.memory[bank]
+            target = peer.memory[bank]
+            for address, cell in enumerate(source):
+                target[address] = _lane_scalar(cell, lane)
+        for rclass, rfile in self.registers.items():
+            target = peer.registers[rclass]
+            for index, cell in enumerate(rfile):
+                target[index] = _lane_scalar(cell, lane)
+        return peer
+
+    def _adopt_state(self, peer):
+        self.memory = peer.memory
+        self.registers = peer.registers
+        self.sp = peer.sp
+        self.sp_min = peer.sp_min
+        self.pc = peer.pc
+        self.cycle = peer.cycle
+        self.op_count = peer.op_count
+        self.halted = peer.halted
+        self.locked = peer.locked
+        self.loop_stack = peer.loop_stack
+        self.call_stack = peer.call_stack
+        self.pc_counts = peer.pc_counts
+
+    # ------------------------------------------------------------------
+    # Group management
+    # ------------------------------------------------------------------
+    def _shell(self, lane_ids):
+        """A new group sharing this one's program and uniform state."""
+        twin = object.__new__(type(self))
+        twin.program = self.program
+        twin.stack_words = self.stack_words
+        twin.max_cycles = self.max_cycles
+        twin.interrupt_hook = None
+        twin.check_bounds = self.check_bounds
+        twin.data_size = self.data_size
+        twin.mem_top = self.mem_top
+        twin.lanes = len(lane_ids)
+        twin.lane_ids = lane_ids
+        twin._lane_hooks = {}
+        twin.sp = list(self.sp)
+        twin.sp_min = list(self.sp_min)
+        twin.pc = self.pc
+        twin.cycle = self.cycle
+        twin.op_count = 0
+        twin.halted = self.halted
+        twin.locked = self.locked
+        twin.loop_stack = [list(record) for record in self.loop_stack]
+        twin.call_stack = list(self.call_stack)
+        twin.pc_counts = [0] * len(self.program.instructions)
+        twin._decoded = self._decoded
+        twin._steps = None
+        twin._blocks = None
+        twin._block_lens = None
+        twin._block_members = None
+        twin._op_widths = list(self._op_widths)
+        twin._loop_end_pcs = self._loop_end_pcs
+        return twin
+
+    def _slice_group(self, positions):
+        """Child group holding the given vector positions of this one.
+
+        A single-position child collapses every vector cell to its
+        scalar value — the peeled lane then runs the same step table on
+        pure scalar state.
+        """
+        child = self._shell([self.lane_ids[p] for p in positions])
+        if len(positions) > 1:
+            take = np.array(positions)
+            position = None
+        else:
+            take = None
+            position = positions[0]
+
+        def cut(cell):
+            if cell.__class__ is not _ndarray:
+                return cell
+            if take is None:
+                return cell.item(position)
+            return cell[take]
+
+        child.memory = [[cut(cell) for cell in bank] for bank in self.memory]
+        child.registers = {
+            rclass: [cut(cell) for cell in rfile]
+            for rclass, rfile in self.registers.items()
+        }
+        return child
+
+    @staticmethod
+    def _join_cells(cells, sizes, total):
+        first = cells[0]
+        if first.__class__ is not _ndarray and all(
+            cell is first for cell in cells
+        ):
+            return first
+        values = []
+        for cell, size in zip(cells, sizes):
+            if cell.__class__ is _ndarray:
+                values.extend(cell.tolist())
+            else:
+                values.extend([cell] * size)
+        head = values[0]
+        if head == head and all(
+            type(v) is type(head) and v == head for v in values[1:]
+        ):
+            return head
+        if all(type(v) is float for v in values):
+            return np.array(values, dtype=np.float64)
+        out = np.empty(total, dtype=object)
+        for i, v in enumerate(values):
+            out[i] = v
+        return out
+
+    def _merge_groups(self, peers):
+        base = peers[0]
+        lane_ids = [lane for peer in peers for lane in peer.lane_ids]
+        merged = base._shell(lane_ids)
+        sizes = [peer.lanes for peer in peers]
+        total = merged.lanes
+        merged.memory = [
+            [
+                self._join_cells(
+                    [peer.memory[bank][address] for peer in peers],
+                    sizes,
+                    total,
+                )
+                for address in range(len(base.memory[bank]))
+            ]
+            for bank in (_BANK_X, _BANK_Y)
+        ]
+        merged.registers = {
+            rclass: [
+                self._join_cells(
+                    [peer.registers[rclass][index] for peer in peers],
+                    sizes,
+                    total,
+                )
+                for index in range(len(rfile))
+            ]
+            for rclass, rfile in base.registers.items()
+        }
+        return merged
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _ensure_steps(self):
+        if self._steps is None:
+            self._compile_steps()
+
+    def _advance(self, budget=None):
+        """Run this group until halt, fault, or lane split.
+
+        With *budget*, stop after that many instructions and report
+        ``("run", None)`` — the round-lockstep mode the dispatcher uses
+        while several groups are in flight, so balanced divergent arms
+        stay cycle-aligned and can rejoin.
+        """
+        self._ensure_steps()
+        steps = self._steps
+        count = len(self.program.instructions)
+        pc_counts = self.pc_counts
+        max_cycles = self.max_cycles
+        cycle = self.cycle
+        pc = self.pc
+        remaining = budget
+        try:
+            while True:
+                if pc < 0 or pc >= count:
+                    raise SimulationError("pc %d out of range" % pc)
+                pc_counts[pc] += 1
+                cycle += 1
+                self.cycle = cycle
+                if cycle > max_cycles:
+                    from repro.sim.simulator import CycleLimitError
+
+                    raise CycleLimitError(
+                        "exceeded max_cycles=%d" % max_cycles
+                    )
+                self.pc = pc
+                try:
+                    next_pc = steps[pc]()
+                except _LaneSplit as split:
+                    # the split fired in the read phase: nothing has
+                    # committed, so rewind the accounting and let the
+                    # dispatcher re-execute in the child groups.
+                    pc_counts[pc] -= 1
+                    cycle -= 1
+                    self.cycle = cycle
+                    return ("split", split.vector)
+                if next_pc is None:
+                    self.locked = False
+                    return ("halt", None)
+                pc = next_pc
+                if remaining is not None:
+                    remaining -= 1
+                    if remaining <= 0:
+                        self.pc = pc
+                        return ("run", None)
+        except SimulationError as fault:
+            self.pc = pc
+            self.cycle = cycle
+            self.locked = False
+            self._annotate_fault(fault)
+            return ("fault", fault)
+        except Exception as fault:  # noqa: BLE001 — raw machine faults
+            # Non-simulation Python faults (ZeroDivisionError from FDIV,
+            # negative shifts, ...) propagate unannotated from the
+            # scalar backends; report them per group the same way.
+            return ("fault", fault)
+
+    def _fold_counts(self, group, carry):
+        counts = group.pc_counts
+        for lane in group.lane_ids:
+            acc = carry.get(lane)
+            if acc is None:
+                carry[lane] = list(counts)
+            else:
+                for index, value in enumerate(counts):
+                    if value:
+                        acc[index] += value
+
+    def _split_group(self, group, vector, carry):
+        self._fold_counts(group, carry)
+        buckets = {}
+        for position in range(group.lanes):
+            buckets.setdefault(vector.item(position), []).append(position)
+        return [
+            group._slice_group(positions) for positions in buckets.values()
+        ]
+
+    def _rejoin_key(self, group):
+        return (
+            group.pc,
+            group.cycle,
+            group.locked,
+            tuple(group.sp),
+            tuple(group.sp_min),
+            tuple(tuple(record) for record in group.loop_stack),
+            tuple((name, id(frame)) for name, frame in group.call_stack),
+        )
+
+    def _coalesce(self, groups, carry):
+        if len(groups) < 2:
+            return groups
+        merged = {}
+        for group in groups:
+            merged.setdefault(self._rejoin_key(group), []).append(group)
+        out = []
+        for peers in merged.values():
+            if len(peers) == 1:
+                out.append(peers[0])
+            else:
+                for peer in peers:
+                    self._fold_counts(peer, carry)
+                out.append(self._merge_groups(peers))
+        return out
+
+    def _dispatch(self, groups, carry):
+        """Drive lane groups to completion; returns ``[(group, error)]``."""
+        finished = []
+        while groups:
+            if len(groups) == 1:
+                group = groups.pop()
+                status, payload = group._advance()
+                if status == "split":
+                    groups.extend(self._split_group(group, payload, carry))
+                else:
+                    self._fold_counts(group, carry)
+                    finished.append((group, payload))
+                continue
+            advancing = []
+            for group in groups:
+                status, payload = group._advance(budget=1)
+                if status == "run":
+                    advancing.append(group)
+                elif status == "split":
+                    advancing.extend(
+                        self._split_group(group, payload, carry)
+                    )
+                else:
+                    self._fold_counts(group, carry)
+                    finished.append((group, payload))
+            groups = self._coalesce(advancing, carry)
+        return finished
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _settle_ops(self):
+        widths = self._op_widths
+        self.op_count = sum(
+            executed * widths[index]
+            for index, executed in enumerate(self.pc_counts)
+            if executed
+        )
+
+    def _result(self):
+        return SimulationResult(
+            self.cycle,
+            self.op_count,
+            self.pc_counts,
+            self.mem_top[_BANK_X] - self.sp_min[_BANK_X],
+            self.mem_top[_BANK_Y] - self.sp_min[_BANK_Y],
+        )
+
+    def run(self):
+        """Single-instance entry, bit-identical to the interpreter.
+
+        Usable only with ``lanes=1`` (the default, which every generic
+        backend-selection path uses); multi-lane batches return their
+        per-lane results through :meth:`run_batch`.
+        """
+        if self.lanes != 1:
+            raise ValueError(
+                "run() drives a single instance; use run_batch() for "
+                "%d lanes" % self.lanes
+            )
+        hook = self._lane_hooks.get(0, self.interrupt_hook)
+        if hook is not None:
+            # hook delivery is per-instance by nature: run on the scalar
+            # jit path against this simulator's initial state, then
+            # mirror the final state back.
+            peer = self._peel(0, hook)
+            try:
+                return peer.run()
+            finally:
+                self._adopt_state(peer)
+        self._ensure_steps()
+        self._enter_main()
+        status, payload = self._advance()
+        if status == "fault":
+            if isinstance(payload, SimulationError):
+                self._settle_ops()
+            raise payload
+        self._settle_ops()
+        return self._result()
+
+    def run_batch(self):
+        """Run every lane; returns one :class:`LaneOutcome` per lane."""
+        lanes = self.lanes
+        outcomes = [None] * lanes
+        base_hook = self.interrupt_hook
+        peeled = {}
+        for lane in range(lanes):
+            hook = self._lane_hooks.get(lane, base_hook)
+            if hook is not None:
+                peeled[lane] = hook
+        for lane, hook in peeled.items():
+            peer = self._peel(lane, hook)
+            outcome = LaneOutcome(lane)
+            try:
+                outcome.result = peer.run()
+            except Exception as error:
+                outcome.error = error
+            outcome.state = peer
+            outcomes[lane] = outcome
+        rest = [lane for lane in range(lanes) if lane not in peeled]
+        if not rest:
+            return outcomes
+        if len(rest) == lanes:
+            root = self
+        else:
+            root = self._slice_group(rest)
+        root._ensure_steps()
+        root._enter_main()
+        carry = {}
+        finished = self._dispatch([root], carry)
+        widths = root._op_widths
+        for group, error in finished:
+            for position, lane in enumerate(group.lane_ids):
+                outcome = LaneOutcome(lane)
+                counts = carry[lane]
+                if error is None:
+                    operations = sum(
+                        executed * widths[index]
+                        for index, executed in enumerate(counts)
+                        if executed
+                    )
+                    outcome.result = SimulationResult(
+                        group.cycle,
+                        operations,
+                        counts,
+                        self.mem_top[_BANK_X] - group.sp_min[_BANK_X],
+                        self.mem_top[_BANK_Y] - group.sp_min[_BANK_Y],
+                    )
+                else:
+                    outcome.error = error
+                if group.lanes == 1:
+                    group.pc_counts = counts
+                    group.op_count = (
+                        outcome.result.operations if error is None else 0
+                    )
+                    outcome.state = group
+                else:
+                    outcome.state = _LaneView(group, position)
+                outcomes[lane] = outcome
+        return outcomes
+
+
+BACKENDS["batch"] = BatchSimulator

@@ -170,6 +170,12 @@ class FastSimulator(Simulator):
 
     backend_name = "fast"
 
+    #: opcode -> expression template tables; class attributes so
+    #: subclasses (the batch backend) can substitute vector-safe forms
+    #: while reusing the whole codegen pipeline
+    _binary_expr = _BINARY_EXPR
+    _unary_expr = _UNARY_EXPR
+
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
         count = len(self.program.instructions)
@@ -258,11 +264,19 @@ class FastSimulator(Simulator):
             expr = "(%s + %s)" % (expr, self._operand_expr(offset, cb))
         return expr
 
+    def _guard_uniform(self, name, cb):
+        """Hook: validate a scalar-only value (an effective address, a
+        branch condition, a loop trip count) right after its read.  The
+        scalar backends need no guard; the batch backend overrides this
+        to collapse uniform vectors and trigger lane splits on
+        divergence."""
+
     def _address_expr(self, op, pc, cb):
         """Emit index + bounds check reads; return the address expression."""
         bank_index, base, frame_offset = self._resolve_symbol(op)
         index = cb.temp()
         cb.reads.append("%s = %s" % (index, self._index_expr(op, cb)))
+        self._guard_uniform(index, cb)
         if self.check_bounds:
             symbol = op.symbol
             cb.reads.append(
@@ -337,6 +351,7 @@ class FastSimulator(Simulator):
             cb.reads.append(
                 "%s = %s" % (condition, self._operand_expr(op.sources[0], cb))
             )
+            self._guard_uniform(condition, cb)
             test = condition if opcode is OpCode.BRT else "not %s" % condition
             cb.tail.append("if %s:" % test)
             cb.tail.append("    return %d" % labels[op.target.name])
@@ -346,6 +361,7 @@ class FastSimulator(Simulator):
             cb.reads.append(
                 "%s = %s" % (count, self._operand_expr(op.sources[0], cb))
             )
+            self._guard_uniform(count, cb)
             start, end = self.program.loops[op.target.name]
             cb.tail.append("if %s <= 0:" % count)
             cb.tail.append("    return %d" % (end + 1))
@@ -367,6 +383,14 @@ class FastSimulator(Simulator):
             self._emit_fallthrough(pc, cb, halt=True)
         else:
             raise SimulationError("unexpected opcode %s" % opcode)
+
+    def _fallback_expr(self, info, sources, cb):
+        """Expression for an opcode outside the inlined hot set: call the
+        bound ``OpInfo.evaluate``.  The batch backend overrides this to
+        force the operands scalar first (the generic evaluators are not
+        vector-safe)."""
+        evaluate = cb.const(info.evaluate)
+        return "%s(%s)" % (evaluate, ", ".join(sources))
 
     def _instruction_body(self, pc, cb):
         """Emit one instruction's reads/control/writes into *cb*.
@@ -420,13 +444,14 @@ class FastSimulator(Simulator):
                 control_op = op
             else:
                 sources = [self._operand_expr(s, cb) for s in op.sources]
-                if len(sources) == 2 and opcode in _BINARY_EXPR:
-                    expr = _BINARY_EXPR[opcode].format(a=sources[0], b=sources[1])
-                elif len(sources) == 1 and opcode in _UNARY_EXPR:
-                    expr = _UNARY_EXPR[opcode].format(a=sources[0])
+                binary = self._binary_expr
+                unary = self._unary_expr
+                if len(sources) == 2 and opcode in binary:
+                    expr = binary[opcode].format(a=sources[0], b=sources[1])
+                elif len(sources) == 1 and opcode in unary:
+                    expr = unary[opcode].format(a=sources[0])
                 else:
-                    evaluate = cb.const(info.evaluate)
-                    expr = "%s(%s)" % (evaluate, ", ".join(sources))
+                    expr = self._fallback_expr(info, sources, cb)
                 value = cb.temp()
                 cb.reads.append("%s = %s" % (value, expr))
                 cb.writes.append(
@@ -448,9 +473,14 @@ class FastSimulator(Simulator):
         code = compile("\n".join(pieces), "<fastsim>", "exec")
         return self._exec_code(code, bindings)
 
+    def _exec_namespace(self):
+        """Globals visible to generated code (helper functions for
+        subclasses; the scalar backends need none)."""
+        return {}
+
     def _exec_code(self, code, bindings):
         """Bind a compiled factory batch to *this* simulator's state."""
-        namespace = {}
+        namespace = self._exec_namespace()
         exec(code, namespace)
         fixed_args = self._fixed_args()
         return {
@@ -490,7 +520,11 @@ class FastSimulator(Simulator):
         """Per-instruction step table (used when an interrupt hook needs
         control between every cycle)."""
         cache = self._codegen_cache()
-        key = (type(self).__qualname__, "steps")
+        # check_bounds changes the emitted source (the bounds-check reads
+        # are conditional), so it must key the cached batch: two
+        # simulators of the same program with different settings would
+        # otherwise silently share closures and add or drop checks.
+        key = (type(self).__qualname__, "steps", self.check_bounds)
         entry = cache.get(key)
         if entry is None:
             pieces = []
@@ -525,7 +559,7 @@ class FastSimulator(Simulator):
         """
         count = len(self.program.instructions)
         cache = self._codegen_cache()
-        key = (type(self).__qualname__, "blocks")
+        key = (type(self).__qualname__, "blocks", self.check_bounds)
         entry = cache.get(key)
         if entry is None:
             leaders = self._leaders()
@@ -703,3 +737,4 @@ def make_simulator(program, backend="interp", **kwargs):
 # A plain (not from-) import keeps the circular dependency benign no
 # matter which of the two modules is imported first.
 import repro.sim.loopjit  # noqa: E402,F401
+import repro.sim.batchsim  # noqa: E402,F401  (adds "batch" to BACKENDS)

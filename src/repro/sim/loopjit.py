@@ -384,9 +384,15 @@ class LoopJitSimulator(FastSimulator):
     def _compile_loops(self):
         count = len(self.program.instructions)
         cache = self._codegen_cache()
-        # max_cycles is baked into the generated clamps, so it keys the
-        # cached batch alongside the program itself.
-        cache_key = (type(self).__qualname__, "loops", self.max_cycles)
+        # max_cycles is baked into the generated clamps and check_bounds
+        # changes the emitted source, so both key the cached batch
+        # alongside the program itself.
+        cache_key = (
+            type(self).__qualname__,
+            "loops",
+            self.max_cycles,
+            self.check_bounds,
+        )
         entry = cache.get(cache_key)
         if entry is None:
             keys = [None] * count
@@ -551,7 +557,10 @@ class LoopJitSimulator(FastSimulator):
             closures[k] if k is not None else None for k in keys
         ]
         self._chunk_ends = ends
-        self._chunk_sig = (id(hook), period)
+        # Hold the hook itself (not id(hook)): a recycled id after the
+        # original hook is garbage-collected must not satisfy the
+        # signature check and reuse closures bound to the dead hook.
+        self._chunk_sig = (hook, period)
 
     # ------------------------------------------------------------------
     # Faults raised from generated code
@@ -646,7 +655,8 @@ class LoopJitSimulator(FastSimulator):
     def _run_cadence(self, hook, period):
         if self._steps is None:
             self._compile_steps()
-        if self._chunk_sig != (id(hook), period):
+        sig = self._chunk_sig
+        if sig is None or sig[0] is not hook or sig[1] != period:
             self._compile_chunk_loops(hook, period)
         self._enter_main()
         count = len(self.program.instructions)

@@ -2,6 +2,7 @@
 and the supervised runner must survive hostile workers: crashes, hangs,
 hard exits, and KeyboardInterrupt — without orphaning processes."""
 
+import json
 import multiprocessing
 import os
 import time
@@ -332,3 +333,106 @@ def test_journal_tolerates_torn_trailing_line(tmp_path):
 def test_journal_keys_are_stable():
     assert Journal.key_for((1, "a")) == Journal.key_for((1, "a"))
     assert Journal.key_for((1, "a")) != Journal.key_for((1, "b"))
+
+
+def _mark_and_fail(directory, x):
+    with open(os.path.join(directory, "attempts%d" % x), "a") as handle:
+        handle.write("x")
+    raise ValueError("always fails %d" % x)
+
+
+def _flag_and_sleep(directory, x):
+    with open(os.path.join(directory, "flag%d" % x), "w") as handle:
+        handle.write("up")
+    parent = multiprocessing.parent_process()
+    deadline = time.monotonic() + 20
+    while time.monotonic() < deadline:
+        if parent is not None and not parent.is_alive():
+            os._exit(0)  # supervisor was killed; don't linger as an orphan
+        time.sleep(0.05)
+
+
+def _run_supervised_until_killed(journal_path, directory):
+    # Entry point for the disposable supervisor process the kill test
+    # SIGKILLs mid-task.
+    supervised_map(
+        _flag_and_sleep, [(directory, 5), (directory, 6)],
+        jobs=2, journal=journal_path,
+    )
+
+
+def test_resumed_inflight_attempt_charged_exactly_once(tmp_path):
+    """A task whose attempt 1 was checkpointed in flight (the supervisor
+    died mid-task) resumes at attempt 2: with ``retries=2`` the resumed
+    run invokes fn exactly twice (attempts 2 and 3).  Three invocations
+    would mean the interrupted attempt was never charged — an unbounded
+    crash/resume loop; one would mean it was charged twice."""
+    journal_path = str(tmp_path / "journal.jsonl")
+    arguments = (str(tmp_path), 7)
+    journal = Journal(journal_path)
+    journal.mark_started(Journal.key_for(arguments), 1)
+    journal.close()
+
+    recorder = Recorder()
+    with pytest.raises(ValueError, match="always fails 7"):
+        supervised_map(
+            _mark_and_fail, [arguments], retries=2, retry_errors=True,
+            backoff=0.01, journal=journal_path, observe=recorder,
+        )
+    with open(os.path.join(str(tmp_path), "attempts7")) as handle:
+        assert handle.read() == "xx"
+    assert recorder.counters["supervised.resumed_inflight"] == 1
+
+
+def test_supervisor_kill_checkpoints_inflight_attempt(tmp_path):
+    """Kill a real supervisor (SIGKILL — no atexit, no journal close)
+    mid-task; the started checkpoint must already be on disk, and a
+    resume against the same journal charges that attempt once."""
+    journal_path = str(tmp_path / "journal.jsonl")
+    directory = str(tmp_path)
+    supervisor = multiprocessing.Process(
+        target=_run_supervised_until_killed, args=(journal_path, directory)
+    )
+    supervisor.start()
+    flag = os.path.join(directory, "flag5")
+    deadline = time.monotonic() + 15
+    while not os.path.exists(flag):
+        assert time.monotonic() < deadline, "task 5 never dispatched"
+        assert supervisor.is_alive(), "supervisor exited prematurely"
+        time.sleep(0.05)
+    # mark_started is flushed before the task is sent to the worker, so
+    # the flag existing implies the checkpoint line already hit disk.
+    supervisor.kill()
+    supervisor.join(10)
+    assert not supervisor.is_alive()
+
+    key = Journal.key_for((directory, 5))
+    reloaded = Journal(journal_path)
+    assert reloaded.started.get(key) == 1
+    assert key not in reloaded.completed
+
+    with pytest.raises(ValueError, match="always fails 5"):
+        supervised_map(
+            _mark_and_fail, [(directory, 5)], retries=2, retry_errors=True,
+            backoff=0.01, journal=journal_path,
+        )
+    with open(os.path.join(directory, "attempts5")) as handle:
+        assert handle.read() == "xx"  # attempts 2 and 3, nothing more
+    _assert_no_orphans()
+
+
+def test_pool_leg_journals_started_then_completed(tmp_path):
+    """The pool leg checkpoints every dispatch; once a task completes
+    its started record is superseded, so a reload sees only results."""
+    journal_path = str(tmp_path / "journal.jsonl")
+    results = supervised_map(
+        _square, [(2,), (3,), (4,)], jobs=2, journal=journal_path
+    )
+    assert results == [4, 9, 16]
+    reloaded = Journal(journal_path)
+    assert len(reloaded) == 3
+    assert not reloaded.started
+    with open(journal_path, encoding="utf-8") as handle:
+        entries = [json.loads(line) for line in handle if line.strip()]
+    assert sum(1 for entry in entries if entry.get("started")) == 3
+    _assert_no_orphans()

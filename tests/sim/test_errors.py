@@ -96,7 +96,7 @@ def test_simulator_annotates_faults_in_flight():
     program = compile_module(
         Fir(32, 1).build(), strategy=Strategy.CB
     ).program
-    for backend in ("interp", "fast", "jit"):
+    for backend in ("interp", "fast", "jit", "batch"):
         simulator = make_simulator(program, backend=backend, max_cycles=5)
         with pytest.raises(CycleLimitError) as excinfo:
             simulator.run()

@@ -50,7 +50,7 @@ def _measure(workload, strategy, backend):
 def _assert_equivalent(name, strategy):
     workload = get_workload(name)
     reference, expected = _measure(workload, strategy, "interp")
-    for backend in ("fast", "jit"):
+    for backend in ("fast", "jit", "batch"):
         compiled_sim, actual = _measure(workload, strategy, backend)
         label = "%s/%s/%s" % (name, strategy.name, backend)
         assert actual.cycles == expected.cycles, label

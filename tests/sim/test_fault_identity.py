@@ -24,7 +24,7 @@ from repro.workloads.kernels.autocorr import Autocorr
 from repro.workloads.kernels.fir import Fir
 from repro.workloads.kernels.iir import Iir
 
-BACKENDS = ("interp", "fast", "jit")
+BACKENDS = ("interp", "fast", "jit", "batch")
 
 
 def _programs(workload, strategy):

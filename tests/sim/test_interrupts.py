@@ -18,12 +18,19 @@ from repro.partition.strategies import Strategy
 from repro.sim.fastsim import FastSimulator, make_simulator
 from repro.sim.interrupts import DuplicateDivergenceError, InterruptInjector
 
-pytestmark = pytest.mark.parametrize("backend", ["interp", "fast", "jit"])
+pytestmark = pytest.mark.parametrize("backend", ["interp", "fast", "jit", "batch"])
 
 
 def _assert_hook_path(sim):
     """With a hook installed the fast backend must compile and run the
     per-instruction step table, never the fused superblocks."""
+    from repro.sim.batchsim import BatchSimulator
+
+    if isinstance(sim, BatchSimulator):
+        # hooked batch lanes peel to the scalar jit path; the lockstep
+        # step table must stay cold
+        assert sim._steps is None, "hooked batch lane entered lockstep"
+        return
     if isinstance(sim, FastSimulator):
         assert sim._steps is not None, "per-instruction fallback not compiled"
         assert sim._blocks is None, "fused path must stay cold under a hook"

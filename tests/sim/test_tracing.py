@@ -16,7 +16,7 @@ from repro.partition.strategies import Strategy
 from repro.sim.fastsim import FastSimulator, make_simulator
 from repro.sim.tracing import collect_block_counts, profile_module
 
-pytestmark = pytest.mark.parametrize("backend", ["interp", "fast", "jit"])
+pytestmark = pytest.mark.parametrize("backend", ["interp", "fast", "jit", "batch"])
 
 
 def _loop_module():
@@ -36,7 +36,13 @@ def test_block_counts_reflect_trip_counts(backend):
     compiled = compile_module(module, strategy=Strategy.SINGLE_BANK)
     sim = make_simulator(compiled.program, backend=backend)
     result = sim.run()
-    if isinstance(sim, FastSimulator):
+    from repro.sim.batchsim import BatchSimulator
+
+    if isinstance(sim, BatchSimulator):
+        # The lockstep backend always dispatches per instruction (its
+        # divergence guards live in the step table).
+        assert sim._steps is not None
+    elif isinstance(sim, FastSimulator):
         # Hook-free profiling runs stay on the fused superblock path.
         assert sim._blocks is not None
         assert sim._steps is None

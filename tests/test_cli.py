@@ -118,6 +118,19 @@ def test_fuzz_tiny_end_to_end(capsys, tmp_path):
     assert not os.path.exists(corpus)  # nothing archived on a clean run
 
 
+def test_fuzz_backend_flag_narrows_oracle_pair(capsys, tmp_path):
+    """`fuzz --backend batch` runs the corpus with the identity stage
+    narrowed to (interp, batch)."""
+    corpus = str(tmp_path / "corpus")
+    assert (
+        main([
+            "fuzz", "--runs", "2", "--seed", "0", "--corpus", corpus,
+            "--backend", "batch",
+        ]) == 0
+    )
+    assert "2 runs, 0 oracle violations" in capsys.readouterr().out
+
+
 def test_fuzz_archives_failures(capsys, tmp_path, monkeypatch):
     """End to end through the CLI with an injected oracle bug: nonzero
     exit code, shrunk recipe and regression written to the corpus."""
@@ -247,6 +260,7 @@ def test_report_workload_rejects_unknown_names():
 #: test_backend_flag_inventory)
 BACKEND_COMMANDS = (
     "run", "compare", "figure7", "figure8", "table3", "report", "faults",
+    "fuzz",
 )
 
 
