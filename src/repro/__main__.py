@@ -19,21 +19,32 @@ report [--workload W --strategy S --baseline B --top N --json PATH]
     the JSON document to a file, "-" for stdout).
 fuzz [--runs N] [--seed S] [--jobs J] [--journal PATH] [--timeout SEC]
     Differential fuzzing: random programs through every allocation
-    strategy and every simulator backend; failures are shrunk and
-    archived under tests/fuzz_corpus/.  With --journal/--timeout the
-    seeds run supervised and the campaign is resumable.
+    strategy, every simulator backend, and every partitioner; failures
+    are shrunk and archived under tests/fuzz_corpus/.  With
+    --journal/--timeout the seeds run supervised and the campaign is
+    resumable.
 faults [--runs N] [--seed S] [--jobs J] [--journal PATH] ...
     Resilience campaign: seeded fault plans (bit flips, register
     corruption, stuck banks, delivery jitter) injected into the
     workloads under SINGLE_BANK/CB/CB_DUP; emits the markdown
     resilience report (fault-masking and dup-detection rates), with
     checkpoint/resume via --journal.
+partition-gap [--workload W ...] [--backend B] [--jobs J] [--json PATH]
+    Gap-to-optimal evaluation: every registry workload partitioned by
+    every registered partitioner, reporting final interference cost,
+    the greedy-vs-exact cost ratio, and the realized cycles/PCR.
+
+Every command that compiles under a CB-family strategy accepts
+``--partitioner`` (greedy | exact | anneal | kl) selecting the
+interference-graph partitioner from the registry
+(:data:`repro.partition.registry.PARTITIONERS`).
 """
 
 import argparse
 import sys
 
 from repro.compiler import CompileOptions, compile_module
+from repro.partition.registry import PARTITIONERS
 from repro.partition.strategies import PAPER_LABELS, Strategy
 from repro.sim.fastsim import BACKENDS, make_simulator
 from repro.sim.simulator import Simulator
@@ -86,7 +97,8 @@ def _profile(workload):
     return collect_block_counts(compiled.program, result)
 
 
-def _run_one(workload, strategy, software_pipelining=False, backend="interp"):
+def _run_one(workload, strategy, software_pipelining=False, backend="interp",
+             partitioner="greedy"):
     counts = _profile(workload) if strategy.needs_profile else None
     compiled = compile_module(
         workload.build(),
@@ -94,6 +106,7 @@ def _run_one(workload, strategy, software_pipelining=False, backend="interp"):
             strategy=strategy,
             profile_counts=counts,
             software_pipelining=software_pipelining,
+            partitioner=partitioner,
         ),
     )
     simulator = make_simulator(compiled.program, backend=backend)
@@ -118,7 +131,8 @@ def cmd_run(args):
     workload = _workload(args.workload)
     strategy = _strategy(args.strategy)
     compiled, simulator, result = _run_one(
-        workload, strategy, args.pipeline, backend=args.backend
+        workload, strategy, args.pipeline, backend=args.backend,
+        partitioner=args.partitioner,
     )
     print(
         "%s under %s: %d cycles (%d ops, %.2f ops/cycle), verified OK"
@@ -156,7 +170,8 @@ def cmd_compare(args):
     print("%-14s %10s %8s" % ("configuration", "cycles", "gain"))
     for strategy in strategies:
         _compiled, _sim, result = _run_one(
-            workload, strategy, args.pipeline, backend=args.backend
+            workload, strategy, args.pipeline, backend=args.backend,
+            partitioner=args.partitioner,
         )
         if baseline is None:
             baseline = result.cycles
@@ -171,21 +186,27 @@ def cmd_compare(args):
 def cmd_figure7(args):
     from repro.evaluation import figure7, render_figure7
 
-    print(render_figure7(figure7(jobs=_jobs(args), backend=args.backend)))
+    print(render_figure7(figure7(
+        jobs=_jobs(args), backend=args.backend, partitioner=args.partitioner,
+    )))
     return 0
 
 
 def cmd_figure8(args):
     from repro.evaluation import figure8, render_figure8
 
-    print(render_figure8(figure8(jobs=_jobs(args), backend=args.backend)))
+    print(render_figure8(figure8(
+        jobs=_jobs(args), backend=args.backend, partitioner=args.partitioner,
+    )))
     return 0
 
 
 def cmd_table3(args):
     from repro.evaluation import render_table3, table3
 
-    print(render_table3(table3(jobs=_jobs(args), backend=args.backend)))
+    print(render_table3(table3(
+        jobs=_jobs(args), backend=args.backend, partitioner=args.partitioner,
+    )))
     return 0
 
 
@@ -196,11 +217,12 @@ def cmd_report(args):
     from repro.evaluation.reporting import render_markdown
 
     jobs, backend = _jobs(args), args.backend
+    partitioner = args.partitioner
     print(
         render_markdown(
-            figure7(jobs=jobs, backend=backend),
-            figure8(jobs=jobs, backend=backend),
-            table3(jobs=jobs, backend=backend),
+            figure7(jobs=jobs, backend=backend, partitioner=partitioner),
+            figure8(jobs=jobs, backend=backend, partitioner=partitioner),
+            table3(jobs=jobs, backend=backend, partitioner=partitioner),
         )
     )
     return 0
@@ -220,6 +242,7 @@ def _cmd_observability_report(args):
         baseline=_strategy(args.baseline),
         backend=args.backend,
         top=args.top,
+        partitioner=args.partitioner,
     )
     print(render_observability(report))
     if args.json:
@@ -239,6 +262,10 @@ def cmd_fuzz(args):
     if args.backend is not None:
         # the reference interpreter plus the backend under test
         backends = tuple(dict.fromkeys(("interp", args.backend)))
+    partitioners = None
+    if args.partitioner is not None:
+        # the greedy reference plus the partitioner under test
+        partitioners = tuple(dict.fromkeys(("greedy", args.partitioner)))
     failures = fuzz_campaign(
         args.runs,
         seed=args.seed,
@@ -250,6 +277,7 @@ def cmd_fuzz(args):
         journal=args.journal,
         timeout=args.timeout,
         backends=backends,
+        partitioners=partitioners,
     )
     return 1 if failures else 0
 
@@ -278,6 +306,7 @@ def cmd_faults(args):
             retries=args.retries,
             log=print,
             observe=Recorder(),
+            partitioner=args.partitioner,
         )
     except ValueError as error:
         raise SystemExit(str(error))
@@ -294,9 +323,35 @@ def cmd_faults(args):
 
 def cmd_graph(args):
     workload = _workload(args.workload)
-    compiled = compile_module(workload.build(), strategy=Strategy.CB)
+    compiled = compile_module(
+        workload.build(), strategy=Strategy.CB, partitioner=args.partitioner
+    )
     allocation = compiled.allocation
     print(allocation.graph.to_dot(allocation.partition))
+    return 0
+
+
+def cmd_partition_gap(args):
+    import json
+
+    from repro.evaluation.partition_gap import partition_gap
+    from repro.evaluation.reporting import render_partition_gap
+
+    workloads = tuple(args.workload) if args.workload else None
+    try:
+        report = partition_gap(
+            jobs=_jobs(args), backend=args.backend, workloads=workloads,
+        )
+    except ValueError as error:
+        raise SystemExit(str(error))
+    print(render_partition_gap(report))
+    if args.json:
+        document = json.dumps(report, indent=2, sort_keys=True)
+        if args.json == "-":
+            print(document)
+        else:
+            with open(args.json, "w") as handle:
+                handle.write(document + "\n")
     return 0
 
 
@@ -314,6 +369,16 @@ def build_parser():
             choices=sorted(BACKENDS),
             help="simulator backend: reference interpreter, threaded code, "
             "loop-specializing codegen, or batched lockstep lanes",
+        )
+
+    def add_partitioner(command):
+        command.add_argument(
+            "--partitioner",
+            default="greedy",
+            choices=sorted(PARTITIONERS),
+            help="interference-graph partitioner: the paper's greedy "
+            "heuristic, branch-and-bound exact max-cut, seeded simulated "
+            "annealing, or Kernighan-Lin refinement",
         )
 
     def nonnegative_int(text):
@@ -342,6 +407,7 @@ def build_parser():
     run.add_argument("--asm", action="store_true", help="DSP-style assembly listing")
     run.add_argument("--stats", action="store_true", help="unit utilization")
     add_backend(run)
+    add_partitioner(run)
     run.set_defaults(func=cmd_run)
 
     compare = sub.add_parser("compare", help="compare configurations")
@@ -351,6 +417,7 @@ def build_parser():
     )
     compare.add_argument("--pipeline", action="store_true")
     add_backend(compare)
+    add_partitioner(compare)
     compare.set_defaults(func=cmd_compare)
 
     for name, func in (
@@ -361,6 +428,7 @@ def build_parser():
         artifact = sub.add_parser(name, help="regenerate paper %s" % name)
         add_backend(artifact)
         add_jobs(artifact)
+        add_partitioner(artifact)
         artifact.set_defaults(func=func)
 
     report = sub.add_parser(
@@ -390,6 +458,7 @@ def build_parser():
     )
     add_backend(report)
     add_jobs(report)
+    add_partitioner(report)
     report.set_defaults(func=cmd_report)
 
     fuzz = sub.add_parser(
@@ -431,6 +500,12 @@ def build_parser():
         "--timeout", type=float, default=None, metavar="SEC",
         help="per-seed wall-clock budget; overrunning workers are "
         "terminated and the seed retried (supervised runner)",
+    )
+    fuzz.add_argument(
+        "--partitioner", default=None, choices=sorted(PARTITIONERS),
+        help="restrict the oracle's partitioner-identity stage to the "
+        "greedy reference plus this partitioner (default: the full "
+        "registry)",
     )
     add_jobs(fuzz)
     fuzz.set_defaults(func=cmd_fuzz)
@@ -477,13 +552,33 @@ def build_parser():
     )
     add_backend(faults)
     add_jobs(faults)
+    add_partitioner(faults)
     faults.set_defaults(func=cmd_faults)
 
     graph = sub.add_parser(
         "graph", help="interference graph of a workload in DOT format"
     )
     graph.add_argument("workload")
+    add_partitioner(graph)
     graph.set_defaults(func=cmd_graph)
+
+    gap = sub.add_parser(
+        "partition-gap",
+        help="gap-to-optimal study: every workload under every "
+        "partitioner, with greedy-vs-exact cost ratios",
+    )
+    gap.add_argument(
+        "--workload", action="append", default=None, metavar="W",
+        help="restrict the study to workload W (repeatable; "
+        "default: the whole registry)",
+    )
+    gap.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the JSON report to PATH ('-' for stdout)",
+    )
+    add_backend(gap)
+    add_jobs(gap)
+    gap.set_defaults(func=cmd_partition_gap)
     return parser
 
 

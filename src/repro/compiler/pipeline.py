@@ -27,6 +27,7 @@ from repro.ir.validate import validate_module
 from repro.machine.instruction import MachineProgram
 from repro.machine.resources import ALL_UNITS
 from repro.obs.core import NULL_RECORDER
+from repro.partition.registry import DEFAULT_PARTITIONER
 from repro.partition.strategies import Strategy, run_allocation
 
 
@@ -43,11 +44,18 @@ class CompileOptions:
         optimize=False,
         unroll_factor=1,
         observe=None,
+        partitioner=DEFAULT_PARTITIONER,
+        partitioner_seed=0,
     ):
         self.strategy = strategy
         self.profile_counts = profile_counts
         self.interrupt_safe = interrupt_safe
         self.validate = validate
+        #: Interference-graph partitioner name for the CB-family
+        #: strategies (:data:`~repro.partition.registry.PARTITIONERS`).
+        self.partitioner = partitioner
+        #: One seed for partitioner tie-breaks and annealing schedules.
+        self.partitioner_seed = partitioner_seed
         #: Optional :class:`~repro.obs.core.Recorder` collecting per-pass
         #: spans; None means the shared no-op recorder.
         self.observe = observe
@@ -103,9 +111,12 @@ def compile_module(module, options=None, **kwargs):
                 profile_counts=options.profile_counts,
                 interrupt_safe=options.interrupt_safe,
                 observe=observe,
+                partitioner=options.partitioner,
+                partitioner_seed=options.partitioner_seed,
             )
             span.set(
                 strategy=options.strategy.name,
+                partitioner=options.partitioner,
                 graph_nodes=(
                     len(allocation.graph) if allocation.graph is not None else 0
                 ),

@@ -11,12 +11,14 @@ from repro.evaluation.parallel import (
     resolve_jobs,
 )
 from repro.evaluation.figures import figure7, figure8
+from repro.evaluation.partition_gap import partition_gap
 from repro.evaluation.tables import table3
 from repro.evaluation.sweeps import duplication_crossover, kernel_size_sweep, sweep
 from repro.evaluation.reporting import (
     render_figure7,
     render_figure8,
     render_observability,
+    render_partition_gap,
     render_table3,
 )
 
@@ -30,9 +32,11 @@ __all__ = [
     "figure8",
     "duplication_crossover",
     "kernel_size_sweep",
+    "partition_gap",
     "render_figure7",
     "render_figure8",
     "render_observability",
+    "render_partition_gap",
     "render_table3",
     "resolve_jobs",
     "sweep",

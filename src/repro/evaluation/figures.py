@@ -40,11 +40,12 @@ class FigureSeries:
 
 
 def _collect(title, table, order, strategies, labels, verify=True, subset=None,
-             jobs=None, backend="interp"):
+             jobs=None, backend="interp", partitioner="greedy"):
     names = order if subset is None else [n for n in order if n in subset]
     gains = {label: {} for label in labels}
     evaluations = evaluate_workloads(
-        table, names, strategies, jobs=jobs, backend=backend, verify=verify
+        table, names, strategies, jobs=jobs, backend=backend, verify=verify,
+        partitioner=partitioner,
     )
     for name in names:
         evaluation = evaluations[name]
@@ -53,7 +54,8 @@ def _collect(title, table, order, strategies, labels, verify=True, subset=None,
     return FigureSeries(title, names, list(labels), gains, evaluations)
 
 
-def figure7(verify=True, subset=None, jobs=None, backend="interp"):
+def figure7(verify=True, subset=None, jobs=None, backend="interp",
+            partitioner="greedy"):
     """Figure 7: kernel performance gains (CB and Ideal)."""
     return _collect(
         "Figure 7: Performance Gain for DSP Kernels",
@@ -65,10 +67,12 @@ def figure7(verify=True, subset=None, jobs=None, backend="interp"):
         subset=subset,
         jobs=jobs,
         backend=backend,
+        partitioner=partitioner,
     )
 
 
-def figure8(verify=True, subset=None, jobs=None, backend="interp"):
+def figure8(verify=True, subset=None, jobs=None, backend="interp",
+            partitioner="greedy"):
     """Figure 8: application gains (CB, Pr, Dup, Ideal)."""
     return _collect(
         "Figure 8: Performance Gain for DSP Applications",
@@ -80,4 +84,5 @@ def figure8(verify=True, subset=None, jobs=None, backend="interp"):
         subset=subset,
         jobs=jobs,
         backend=backend,
+        partitioner=partitioner,
     )

@@ -792,7 +792,7 @@ def _profile_counts(workload, backend, cache):
     return collect_block_counts(compiled.program, result)
 
 
-def _measure_pair(name, strategy_name, backend, verify):
+def _measure_pair(name, strategy_name, backend, verify, partitioner="greedy"):
     """Worker entry point: one (workload, strategy) measurement."""
     from repro.workloads.registry import get_workload
 
@@ -803,19 +803,22 @@ def _measure_pair(name, strategy_name, backend, verify):
         counts = _profile_counts(workload, backend, _PROCESS_CACHE)
     measurement, _compiled, _result = _run_once(
         workload, strategy, profile_counts=counts, verify=verify,
-        backend=backend, cache=_PROCESS_CACHE,
+        backend=backend, cache=_PROCESS_CACHE, partitioner=partitioner,
     )
     return name, measurement
 
 
 def evaluate_workloads(table, names, strategies, jobs=None, backend="interp",
-                       verify=True):
+                       verify=True, partitioner="greedy"):
     """Evaluate *names* (keys of *table*) under *strategies* in parallel.
 
     Returns ``{name: WorkloadEvaluation}`` in *names* order.  With
     ``jobs`` in (None, 0, 1) the evaluations run serially in-process
     (sharing one compiled-program cache); with ``jobs > 1`` the
     (workload, strategy) pairs fan out across a process pool.
+    ``partitioner`` selects the interference-graph partitioner for every
+    CB-family configuration (measurements are deterministic per
+    partitioner, so serial and fanned-out runs agree for any choice).
     """
     if jobs is not None and jobs < 0:
         raise ValueError("jobs must be >= 0, got %d" % jobs)
@@ -824,7 +827,7 @@ def evaluate_workloads(table, names, strategies, jobs=None, backend="interp",
         return {
             name: evaluate_workload(
                 table[name], strategies, verify=verify, backend=backend,
-                cache=cache,
+                cache=cache, partitioner=partitioner,
             )
             for name in names
         }
@@ -832,9 +835,11 @@ def evaluate_workloads(table, names, strategies, jobs=None, backend="interp",
     wanted = [s for s in strategies if s is not Strategy.SINGLE_BANK]
     tasks = []
     for name in names:
-        tasks.append((name, Strategy.SINGLE_BANK.name, backend, verify))
+        tasks.append(
+            (name, Strategy.SINGLE_BANK.name, backend, verify, partitioner)
+        )
         for strategy in wanted:
-            tasks.append((name, strategy.name, backend, verify))
+            tasks.append((name, strategy.name, backend, verify, partitioner))
 
     collected = {name: {} for name in names}
     for name, measurement in parallel_map(_measure_pair, tasks, jobs=jobs):

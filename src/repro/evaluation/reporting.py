@@ -264,6 +264,61 @@ def render_observability(report):
     return "\n".join(lines)
 
 
+def render_partition_gap(report):
+    """Render a :func:`repro.evaluation.partition_gap.partition_gap`
+    dict as fixed-width text: one row per workload (exact cost starred
+    when proved optimal, each heuristic's cost and gap ratio beside it)
+    plus the per-partitioner aggregate block."""
+    title = (
+        "Partitioner gap-to-optimal (%s strategy, backend %s)"
+        % (report["strategy"], report["backend"])
+    )
+    lines = [title, "=" * len(title), ""]
+    heuristics = [p for p in report["partitioners"] if p != "exact"]
+    header = "%-16s %5s %9s" % ("workload", "nodes", "exact")
+    for partitioner in heuristics:
+        header += " %16s" % ("%s cost/gap" % partitioner)
+    lines.append(header)
+    for name in report["order"]:
+        row = report["workloads"][name]
+        exact = row["partitioners"]["exact"]
+        line = "%-16s %5d %8g%s" % (
+            name,
+            row["graph_nodes"],
+            exact["final_cost"],
+            "*" if exact["proved_optimal"] else " ",
+        )
+        for partitioner in heuristics:
+            entry = row["partitioners"][partitioner]
+            line += "     %6g/%5.3f" % (
+                entry["final_cost"], row["gap"][partitioner]
+            )
+        lines.append(line)
+    lines.append("")
+    lines.append("* = proved minimum-cost by branch-and-bound")
+    lines.append("")
+    aggregate = report["aggregate"]
+    total = aggregate["workloads"]
+    lines.append(
+        "%-12s %9s %8s %12s %9s"
+        % ("partitioner", "mean gap", "max gap", "optimal", "mean PCR")
+    )
+    for partitioner in report["partitioners"]:
+        stats = aggregate[partitioner]
+        lines.append(
+            "%-12s %9.4f %8.4f %9d/%-2d %9.2f"
+            % (
+                partitioner,
+                stats["mean_gap"],
+                stats["max_gap"],
+                stats["optimal_count"],
+                total,
+                stats["mean_pcr"],
+            )
+        )
+    return "\n".join(lines)
+
+
 def render_table3(table):
     """Table 3 as fixed-width text: PG / CI / PCR per application."""
     title = "Table 3: Performance/Cost Trade-Offs of Exploiting Dual Data-Memory Banks"

@@ -106,17 +106,19 @@ def module_fingerprint(module):
     return digest.hexdigest()
 
 
-def _compile_cached(workload, strategy, profile_counts, cache):
+def _compile_cached(workload, strategy, profile_counts, cache,
+                    partitioner="greedy"):
     """Compile *workload*, consulting the content-keyed *cache*.
 
-    The key is (module content hash, strategy, frozen profile counts), so
-    any two identical builds share one compile.  Compiled programs are
-    immutable under simulation (each simulator run owns fresh memory), so
-    cache hits skip the whole compile pipeline.
+    The key is (module content hash, strategy, frozen profile counts,
+    partitioner), so any two identical builds share one compile.
+    Compiled programs are immutable under simulation (each simulator run
+    owns fresh memory), so cache hits skip the whole compile pipeline.
     """
     if cache is None:
         return compile_module(
-            workload.build(), strategy=strategy, profile_counts=profile_counts
+            workload.build(), strategy=strategy,
+            profile_counts=profile_counts, partitioner=partitioner,
         )
     module = workload.build()
     profile_key = (
@@ -124,19 +126,22 @@ def _compile_cached(workload, strategy, profile_counts, cache):
         if profile_counts is None
         else tuple(sorted(profile_counts.items()))
     )
-    key = (module_fingerprint(module), strategy, profile_key)
+    key = (module_fingerprint(module), strategy, profile_key, partitioner)
     compiled = cache.get(key)
     if compiled is None:
         compiled = compile_module(
-            module, strategy=strategy, profile_counts=profile_counts
+            module, strategy=strategy, profile_counts=profile_counts,
+            partitioner=partitioner,
         )
         cache[key] = compiled
     return compiled
 
 
 def _run_once(workload, strategy, profile_counts=None, verify=True,
-              backend="interp", cache=None):
-    compiled = _compile_cached(workload, strategy, profile_counts, cache)
+              backend="interp", cache=None, partitioner="greedy"):
+    compiled = _compile_cached(
+        workload, strategy, profile_counts, cache, partitioner=partitioner
+    )
     simulator = make_simulator(compiled.program, backend=backend)
     result = simulator.run()
     if verify:
@@ -151,12 +156,15 @@ def _run_once(workload, strategy, profile_counts=None, verify=True,
 
 
 def evaluate_workload(workload, strategies, verify=True, backend="interp",
-                      cache=None):
+                      cache=None, partitioner="greedy"):
     """Measure *workload* under *strategies* (baseline always included).
 
     ``backend`` selects the simulator backend (``interp``, ``fast``, or
-    ``jit`` — see :mod:`repro.sim.fastsim`); ``cache`` is an optional dict used as a
-    content-keyed compiled-program cache shared across evaluations.
+    ``jit`` — see :mod:`repro.sim.fastsim`); ``partitioner`` the
+    interference-graph partitioner the CB-family strategies use
+    (:data:`~repro.partition.registry.PARTITIONERS`); ``cache`` is an
+    optional dict used as a content-keyed compiled-program cache shared
+    across evaluations.
     """
     measurements = {}
     baseline, base_compiled, base_result = _run_once(
@@ -175,7 +183,7 @@ def evaluate_workload(workload, strategies, verify=True, backend="interp",
             counts = profile
         measurement, _compiled, _result = _run_once(
             workload, strategy, profile_counts=counts, verify=verify,
-            backend=backend, cache=cache,
+            backend=backend, cache=cache, partitioner=partitioner,
         )
         measurements[strategy] = measurement
     return WorkloadEvaluation(workload.name, workload.category, measurements)

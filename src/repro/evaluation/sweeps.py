@@ -37,15 +37,18 @@ class SweepPoint:
         )
 
 
-def _measure(module, strategy, observe=None, backend="interp"):
-    compiled = compile_module(module, strategy=strategy, observe=observe)
+def _measure(module, strategy, observe=None, backend="interp",
+             partitioner="greedy"):
+    compiled = compile_module(
+        module, strategy=strategy, observe=observe, partitioner=partitioner
+    )
     simulator = make_simulator(compiled.program, backend=backend)
     result = simulator.run()
     return result.cycles, CostModel().measure(compiled, result).total
 
 
 def sweep(factory, parameters, strategies, observe=None, journal=None,
-          backend="interp"):
+          backend="interp", partitioner="greedy"):
     """Measure ``factory(parameter)`` under each strategy.
 
     ``factory`` must return a fresh module per call. Returns
@@ -68,6 +71,12 @@ def sweep(factory, parameters, strategies, observe=None, journal=None,
     results are bit-identical across backends, so it is purely a
     throughput knob.  Journals written under one backend resume under
     any other (the checkpoint key is backend-independent by design).
+
+    ``partitioner`` selects the interference-graph partitioner
+    (:data:`~repro.partition.registry.PARTITIONERS`).  Unlike the
+    backend it *does* change measurements, so non-default choices are
+    part of the checkpoint key; greedy keeps the historical key shape,
+    so existing journals resume unchanged.
     """
     if observe is None:
         from repro.obs.core import NULL_RECORDER as observe
@@ -85,7 +94,10 @@ def sweep(factory, parameters, strategies, observe=None, journal=None,
             if journal is not None:
                 from repro.evaluation.parallel import Journal
 
-                key = Journal.key_for(("sweep", repr(parameter), strategy.name))
+                point = ("sweep", repr(parameter), strategy.name)
+                if partitioner != "greedy":
+                    point += (partitioner,)
+                key = Journal.key_for(point)
 
                 if key in journal.completed:
                     cycles, cost = journal.completed[key]
@@ -95,11 +107,12 @@ def sweep(factory, parameters, strategies, observe=None, journal=None,
             with observe.span("point") as span:
                 cycles, cost = _measure(
                     factory(parameter), strategy, observe=observe,
-                    backend=backend,
+                    backend=backend, partitioner=partitioner,
                 )
                 span.set(
                     parameter=parameter,
                     strategy=strategy.name,
+                    partitioner=partitioner,
                     cycles=cycles,
                     cost=cost,
                 )
@@ -113,14 +126,18 @@ def sweep(factory, parameters, strategies, observe=None, journal=None,
 # ----------------------------------------------------------------------
 # Predefined studies
 # ----------------------------------------------------------------------
-def kernel_size_sweep(taps_list=(8, 16, 32, 64, 128), backend="interp"):
+def kernel_size_sweep(taps_list=(8, 16, 32, 64, 128), backend="interp",
+                      partitioner="greedy"):
     """CB gain for an FIR filter as the tap count grows."""
     from repro.workloads.kernels.fir import Fir
 
     def factory(taps):
         return Fir(taps, 4).build()
 
-    rows = sweep(factory, taps_list, [Strategy.CB], backend=backend)
+    rows = sweep(
+        factory, taps_list, [Strategy.CB], backend=backend,
+        partitioner=partitioner,
+    )
     series = []
     for taps in taps_list:
         base = rows[taps][Strategy.SINGLE_BANK].cycles

@@ -39,11 +39,14 @@ class Table3:
         return pg, ci, pcr
 
 
-def table3(verify=True, subset=None, jobs=None, backend="interp"):
+def table3(verify=True, subset=None, jobs=None, backend="interp",
+           partitioner="greedy"):
     """Measure every application under the four Table 3 configurations.
 
     ``jobs`` fans the (application, configuration) pipelines out across
-    worker processes; ``backend`` selects the simulator backend.
+    worker processes; ``backend`` selects the simulator backend;
+    ``partitioner`` the interference-graph partitioner for the
+    CB-family configurations.
     """
     strategies = [strategy for _label, strategy in TABLE3_CONFIGS]
     rows = {}
@@ -54,7 +57,7 @@ def table3(verify=True, subset=None, jobs=None, backend="interp"):
     )
     evaluations = evaluate_workloads(
         APPLICATIONS, names, strategies, jobs=jobs, backend=backend,
-        verify=verify,
+        verify=verify, partitioner=partitioner,
     )
     for name in names:
         evaluation = evaluations[name]

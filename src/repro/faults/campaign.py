@@ -45,13 +45,14 @@ def campaign_workloads():
     return table
 
 
-def run_task(workload_name, strategy_name, backend, seed):
+def run_task(workload_name, strategy_name, backend, seed,
+             partitioner="greedy"):
     """Worker entry point: one fault experiment, returned as a JSON-able
     row (the unit :func:`supervised_map` journals and retries)."""
     workload = campaign_workloads()[workload_name]
     return run_experiment(
         workload, Strategy[strategy_name], seed, backend=backend,
-        cache=_WORKER_CACHE,
+        cache=_WORKER_CACHE, partitioner=partitioner,
     )
 
 
@@ -114,7 +115,8 @@ def aggregate(rows, backend="interp"):
 
 def fault_campaign(runs, seed=0, jobs=None, workloads=None, strategies=None,
                    backend="interp", journal=None, timeout=None, retries=2,
-                   backoff=0.25, log=None, observe=NULL_RECORDER):
+                   backoff=0.25, log=None, observe=NULL_RECORDER,
+                   partitioner="greedy"):
     """Run a resilience campaign and return its aggregate report.
 
     *runs* seeded experiments (seeds ``seed .. seed+runs-1``) per
@@ -126,6 +128,11 @@ def fault_campaign(runs, seed=0, jobs=None, workloads=None, strategies=None,
     an interrupted campaign rerun with the same journal resumes and
     converges to the same report.  The report embeds *observe*'s
     counters under ``"obs"`` when a real recorder is supplied.
+
+    *partitioner* selects the interference-graph partitioner the
+    CB-family strategies compile with; a non-default choice becomes part
+    of each task (and so of its journal key), while the default keeps
+    the historical task shape so existing greedy journals resume.
     """
     table = campaign_workloads()
     if workloads is None:
@@ -139,8 +146,9 @@ def fault_campaign(runs, seed=0, jobs=None, workloads=None, strategies=None,
     if strategies is None:
         strategies = DEFAULT_STRATEGIES
     strategies = [Strategy[name].name for name in strategies]
+    extra = () if partitioner == "greedy" else (partitioner,)
     tasks = [
-        (workload, strategy, backend, seed + run)
+        (workload, strategy, backend, seed + run) + extra
         for workload in workloads
         for strategy in strategies
         for run in range(runs)
@@ -151,6 +159,7 @@ def fault_campaign(runs, seed=0, jobs=None, workloads=None, strategies=None,
             backoff=backoff, journal=journal, log=log, observe=observe,
         )
     report = aggregate(rows, backend=backend)
+    report["partitioner"] = partitioner
     observe.counter("faults.rows", len(rows))
     if observe is not NULL_RECORDER:
         report["obs"] = observe.to_dict()

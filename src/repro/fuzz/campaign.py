@@ -51,16 +51,23 @@ def _failure_summary(exc):
     return (type(exc).__name__, str(exc))
 
 
-def check_seed(seed, max_statements=6, backends=None):
+def check_seed(seed, max_statements=6, backends=None, partitioners=None):
     """Worker entry point: oracle one seed; (seed, None) when it passes.
 
     ``backends`` restricts the oracle's backend-identity stage (None =
     the full :data:`~repro.fuzz.oracle.ORACLE_BACKENDS` set); the CLI's
     ``--backend B`` maps to ``("interp", B)`` — the reference plus the
-    backend under test.
+    backend under test.  ``partitioners`` similarly restricts the
+    partitioner-identity stage (None = the full
+    :data:`~repro.fuzz.oracle.ORACLE_PARTITIONERS` registry); the CLI's
+    ``--partitioner P`` maps to ``("greedy", P)``.
     """
     recipe = generate_recipe(seed, max_statements=max_statements)
-    kwargs = {} if backends is None else {"backends": tuple(backends)}
+    kwargs = {}
+    if backends is not None:
+        kwargs["backends"] = tuple(backends)
+    if partitioners is not None:
+        kwargs["partitioners"] = tuple(partitioners)
     try:
         check_recipe(recipe, **kwargs)
     except Exception as exc:  # any failure is a finding
@@ -121,6 +128,7 @@ def fuzz_campaign(
     journal=None,
     timeout=None,
     backends=None,
+    partitioners=None,
 ):
     """Run *runs* oracle checks; shrink and archive every failure.
 
@@ -131,7 +139,9 @@ def fuzz_campaign(
     supervised runner instead (:func:`~repro.evaluation.parallel.
     supervised_map`): completed seeds checkpoint to the journal, so an
     interrupted campaign rerun with the same arguments resumes where it
-    stopped, and hung or crashed workers are retried.
+    stopped, and hung or crashed workers are retried.  ``backends`` and
+    ``partitioners`` restrict the corresponding oracle stages per
+    :func:`check_seed`.
     """
     from repro.evaluation.parallel import parallel_map, supervised_map
 
@@ -139,7 +149,13 @@ def fuzz_campaign(
     seeds = range(seed, seed + runs)
     if backends is not None:
         backends = tuple(backends)
-    tasks = [(s, max_statements, backends) for s in seeds]
+    if partitioners is not None:
+        partitioners = tuple(partitioners)
+    # A restricted partitioner set extends the task tuple (and so the
+    # journal key); the default keeps the historical shape so existing
+    # journals resume.
+    extra = () if partitioners is None else (partitioners,)
+    tasks = [(s, max_statements, backends) + extra for s in seeds]
     if journal is not None or timeout is not None:
         outcomes = supervised_map(
             check_seed, tasks, jobs=jobs,

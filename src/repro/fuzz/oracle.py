@@ -31,6 +31,17 @@ For each generated module the oracle checks, in order:
    crash / hang) and completed runs stay bit-identical — the
    cross-backend contract of :mod:`repro.faults.experiment`, checked
    differentially over fuzzer-generated programs.
+7. **Partitioner identity** — under every partitioner in
+   :data:`ORACLE_PARTITIONERS` (the full
+   :data:`~repro.partition.registry.PARTITIONERS` registry) the
+   partitioned strategies still match the sequential reference, both
+   duplicate copies stay coherent, the ``Ideal <= strategy <= None``
+   cycle ordering holds, and the observable program state — every
+   global's final value — is bit-identical across partitioners: a
+   partitioner may only move the cut cost, never program semantics.
+   Because the exact solver participates, this stage also differentially
+   pins the heuristics against a proved-optimal bank assignment on
+   every fuzzed program.
 
 Any violation raises :class:`OracleViolation` carrying the recipe, so a
 failure is self-contained and replayable.
@@ -56,6 +67,15 @@ ORACLE_STRATEGIES = (
 
 #: every simulator backend, checked against each other per strategy
 ORACLE_BACKENDS = ("interp", "fast", "jit", "batch")
+
+#: every registered partitioner, checked against each other per recipe
+#: (greedy first: it is the reference the others are compared against)
+ORACLE_PARTITIONERS = ("greedy", "exact", "anneal", "kl")
+
+#: strategies the partitioner stage re-runs: partitioned without and
+#: with duplication (profile-driven CB behaves identically modulo edge
+#: weights, which the property suite covers directly)
+_PARTITIONED_STRATEGIES = (Strategy.CB, Strategy.CB_DUP)
 
 
 class OracleViolation(AssertionError):
@@ -123,10 +143,12 @@ class _Observation:
         }
 
 
-def _run_config(recipe, strategy, backend, profile_counts):
+def _run_config(recipe, strategy, backend, profile_counts,
+                partitioner="greedy"):
     module = build_module(recipe)
     compiled = compile_module(
-        module, strategy=strategy, profile_counts=profile_counts
+        module, strategy=strategy, profile_counts=profile_counts,
+        partitioner=partitioner,
     )
     hook = None
     if recipe.interrupt_period:
@@ -141,17 +163,24 @@ def _run_config(recipe, strategy, backend, profile_counts):
 
 
 def check_recipe(recipe, strategies=ORACLE_STRATEGIES, backends=ORACLE_BACKENDS,
-                 fault_seed=None):
+                 fault_seed=None, partitioners=ORACLE_PARTITIONERS):
     """Run the full oracle over *recipe*; returns an :class:`OracleReport`.
 
     Raises :class:`OracleViolation` (with the recipe attached) on the
     first broken invariant, and re-raises simulator faults wrapped the
     same way so campaign drivers can treat every failure uniformly.
     A non-None *fault_seed* additionally runs the fault-outcome
-    identity stage (:func:`check_fault_identity`).
+    identity stage (:func:`check_fault_identity`).  *partitioners*
+    selects the partitioner-identity stage's registry slice
+    (:func:`check_partitioner_identity`); fewer than two entries skip
+    the stage — one partitioner has nothing to differ from.
     """
     try:
         report = _check(recipe, strategies, backends)
+        if partitioners is not None and len(partitioners) > 1:
+            check_partitioner_identity(
+                recipe, report, partitioners=partitioners
+            )
         if fault_seed is not None:
             check_fault_identity(
                 recipe, fault_seed, strategies=strategies, backends=backends
@@ -217,6 +246,81 @@ def check_fault_identity(recipe, fault_seed, strategies=ORACLE_STRATEGIES,
                         backend,
                     ),
                     recipe=recipe,
+                )
+
+
+def check_partitioner_identity(recipe, report=None,
+                               partitioners=ORACLE_PARTITIONERS,
+                               backend="interp"):
+    """Oracle stage 7: program semantics are partitioner-invariant.
+
+    Re-runs the partitioned strategies (:data:`_PARTITIONED_STRATEGIES`)
+    once per registry partitioner on the reference backend and asserts,
+    per partitioner: the final value of every global matches the
+    sequential IR reference, both bank copies of every duplicated symbol
+    agree, and the ``Ideal <= strategy <= None`` cycle ordering holds
+    (bounds taken from *report*, an :class:`OracleReport` from the main
+    stages, when supplied — Ideal and None never partition, so their
+    cycles are partitioner-independent).  Then asserts the observable
+    state is bit-identical across partitioners: a partitioner may only
+    move the cut cost, never what the program computes.  Raises
+    :class:`OracleViolation` with stage ``"partitioner-identity"`` on
+    any divergence.
+    """
+    reference = _reference_state(recipe)
+    baseline = ideal = None
+    if report is not None:
+        baseline = report.cycles.get(Strategy.SINGLE_BANK)
+        ideal = report.cycles.get(Strategy.IDEAL)
+    for strategy in _PARTITIONED_STRATEGIES:
+        states = {}
+        for partitioner in partitioners:
+            try:
+                compiled, simulator, result, _hook = _run_config(
+                    recipe, strategy, backend, None, partitioner=partitioner
+                )
+            except SimulationError as fault:
+                raise OracleViolation(
+                    "simulation-fault",
+                    "%s[%s]: %s" % (strategy.name, partitioner, fault),
+                )
+            label = "%s[%s]" % (strategy.name, partitioner)
+            observed = _global_state(
+                simulator.read_global, compiled.program.module
+            )
+            for name, expected in reference.items():
+                if observed[name] != expected:
+                    raise OracleViolation(
+                        "partitioner-identity",
+                        "%s: global %r is %r, reference says %r"
+                        % (label, name, observed[name], expected),
+                    )
+            _check_duplicate_coherence(simulator, compiled, label)
+            if ideal is not None and result.cycles < ideal:
+                raise OracleViolation(
+                    "partitioner-identity",
+                    "%s ran in %d cycles, below the Ideal bound of %d"
+                    % (label, result.cycles, ideal),
+                )
+            if baseline is not None and result.cycles > baseline:
+                raise OracleViolation(
+                    "partitioner-identity",
+                    "%s ran in %d cycles, worse than the single-bank "
+                    "baseline's %d" % (label, result.cycles, baseline),
+                )
+            states[partitioner] = observed
+        first = partitioners[0]
+        for partitioner in partitioners[1:]:
+            if states[partitioner] != states[first]:
+                differing = sorted(
+                    name
+                    for name in states[first]
+                    if states[partitioner][name] != states[first][name]
+                )
+                raise OracleViolation(
+                    "partitioner-identity",
+                    "%s: globals %s differ between partitioners %s and %s"
+                    % (strategy.name, differing, first, partitioner),
                 )
 
 

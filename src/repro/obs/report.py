@@ -55,7 +55,8 @@ def _resolve_workload(workload):
     return workload
 
 
-def _measure(workload, strategy, backend, profile_counts=None, verify=True):
+def _measure(workload, strategy, backend, profile_counts=None, verify=True,
+             partitioner="greedy"):
     """One instrumented compile + simulate + verify + profile."""
     from repro.compiler import CompileOptions, compile_module
     from repro.sim.fastsim import make_simulator
@@ -67,6 +68,7 @@ def _measure(workload, strategy, backend, profile_counts=None, verify=True):
             strategy=strategy,
             profile_counts=profile_counts,
             observe=recorder,
+            partitioner=partitioner,
         ),
     )
     simulator = make_simulator(compiled.program, backend=backend)
@@ -92,16 +94,17 @@ def _pass_rows(recorder):
 
 
 def _configuration(workload, strategy, backend, top, profile_counts=None,
-                   verify=True):
+                   verify=True, partitioner="greedy"):
     recorder, compiled, result = _measure(
         workload, strategy, backend, profile_counts=profile_counts,
-        verify=verify,
+        verify=verify, partitioner=partitioner,
     )
     profile = profile_run(compiled.program, result)
     compile_span = recorder.find("compile")
     return {
         "strategy": strategy.name,
         "label": PAPER_LABELS[strategy],
+        "partitioner": compiled.allocation.partitioner,
         "cycles": result.cycles,
         "operations": result.operations,
         "parallelism": result.parallelism,
@@ -117,7 +120,7 @@ def _configuration(workload, strategy, backend, top, profile_counts=None,
 
 def build_report(workload, strategy=Strategy.CB,
                  baseline=Strategy.SINGLE_BANK, backend="interp", top=10,
-                 verify=True):
+                 verify=True, partitioner="greedy"):
     """Build the observability report as a JSON-ready dict.
 
     Parameters
@@ -134,6 +137,11 @@ def build_report(workload, strategy=Strategy.CB,
         How many hot pcs to keep per configuration.
     verify:
         Check each run against the workload's reference model.
+    partitioner:
+        Interference-graph partitioner name for the CB-family
+        configurations (:data:`~repro.partition.registry.PARTITIONERS`);
+        the ``partition`` compile pass row carries the name, so reports
+        under different partitioners stay distinguishable.
     """
     from repro.sim.tracing import collect_block_counts
 
@@ -151,12 +159,12 @@ def build_report(workload, strategy=Strategy.CB,
     base = _configuration(
         workload, baseline, backend, top,
         profile_counts=profile_counts if baseline.needs_profile else None,
-        verify=verify,
+        verify=verify, partitioner=partitioner,
     )
     target = _configuration(
         workload, strategy, backend, top,
         profile_counts=profile_counts if strategy.needs_profile else None,
-        verify=verify,
+        verify=verify, partitioner=partitioner,
     )
 
     base_cycles = base["cycles"]
@@ -170,6 +178,7 @@ def build_report(workload, strategy=Strategy.CB,
         "workload": workload.name,
         "category": workload.category,
         "backend": backend,
+        "partitioner": partitioner,
         "top": top,
         "baseline": base,
         "strategy": target,

@@ -5,8 +5,12 @@ This package implements the two algorithms of paper Section 3:
 * **Compaction-based (CB) data partitioning** — build a weighted
   interference graph over program variables by running the compaction
   algorithm in analysis mode (:mod:`repro.partition.graph_builder`), then
-  split the nodes across the X and Y banks with a greedy minimum-cost
-  partitioner (:mod:`repro.partition.greedy`).
+  split the nodes across the X and Y banks with a minimum-cost
+  partitioner.  The paper's greedy algorithm
+  (:mod:`repro.partition.greedy`) is the default of an interchangeable
+  registry (:mod:`repro.partition.registry`) that also offers an exact
+  branch-and-bound solver, simulated annealing, and Kernighan-Lin
+  refinement — see ``--partitioner`` on the CLI.
 * **Partial data duplication** — duplicate arrays that are accessed twice
   in potentially-parallel memory operations, inserting integrity stores to
   keep both copies coherent (:mod:`repro.partition.duplication`).
@@ -20,6 +24,14 @@ Ideal reference).
 from repro.partition.interference import InterferenceGraph
 from repro.partition.graph_builder import build_interference_graph
 from repro.partition.greedy import GreedyPartitioner, PartitionResult
+from repro.partition.exact import ExactPartitioner
+from repro.partition.anneal import AnnealPartitioner
+from repro.partition.kl import KLPartitioner
+from repro.partition.registry import (
+    DEFAULT_PARTITIONER,
+    PARTITIONERS,
+    make_partitioner,
+)
 from repro.partition.weights import ProfileWeights, StaticDepthWeights
 from repro.partition.duplication import (
     duplicate_symbols,
@@ -29,8 +41,13 @@ from repro.partition.strategies import AllocationResult, Strategy, run_allocatio
 
 __all__ = [
     "AllocationResult",
+    "AnnealPartitioner",
+    "DEFAULT_PARTITIONER",
+    "ExactPartitioner",
     "GreedyPartitioner",
     "InterferenceGraph",
+    "KLPartitioner",
+    "PARTITIONERS",
     "PartitionResult",
     "ProfileWeights",
     "StaticDepthWeights",
@@ -38,5 +55,6 @@ __all__ = [
     "build_interference_graph",
     "duplicate_symbols",
     "full_duplication_symbols",
+    "make_partitioner",
     "run_allocation",
 ]

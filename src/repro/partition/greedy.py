@@ -17,15 +17,26 @@ weighted 2 and the rest 1) traces cost 7 -> 3 -> 2, ending with {A, B} and
 
 
 class PartitionResult:
-    """Outcome of partitioning: the two symbol sets and the cost trace."""
+    """Outcome of partitioning: the two symbol sets and the cost trace.
 
-    def __init__(self, set_x, set_y, cost_trace):
+    Every registry partitioner (:mod:`repro.partition.registry`) returns
+    this same shape: ``cost_trace`` starts at the everything-in-X cost
+    and records each strict improvement, so ``final_cost`` is always the
+    cost of the returned assignment and the trace is non-increasing.
+    """
+
+    def __init__(self, set_x, set_y, cost_trace, proved_optimal=None):
         #: Symbols assigned to the X bank (the initial, first set).
         self.set_x = list(set_x)
         #: Symbols assigned to the Y bank (the second set).
         self.set_y = list(set_y)
         #: Cost after initialization and after every accepted move.
         self.cost_trace = list(cost_trace)
+        #: True when the producing partitioner proved this assignment
+        #: minimum-cost (the exact solver within its node limit); False
+        #: when it explicitly could not; None for heuristics that never
+        #: make the claim.
+        self.proved_optimal = proved_optimal
         # O(1) membership for bank_of (symbol names are unique per scope).
         self._y_names = frozenset(s.name for s in self.set_y)
 
@@ -60,13 +71,35 @@ class GreedyPartitioner:
     most v moves are accepted because a node never moves back.
 
     Determinism: when several moves give the same (best) cost decrease,
-    the node with the lexicographically smallest name moves — so the
-    partition depends only on the graph's content, never on node
+    the node with the smallest tie-break key moves — so the partition
+    depends only on the graph's content (and the seed), never on node
     insertion order, and repeated runs are identical.
+
+    With the default ``seed=0`` the tie-break key is the node name
+    itself (lexicographically smallest name moves first, the documented
+    paper-faithful order).  Any other seed derives a deterministic
+    permutation of the node names from ``random.Random(seed)`` and
+    breaks ties along it instead — the hook campaign drivers use to
+    explore the tie space from one campaign seed (every registry
+    partitioner shares the same ``(graph, *, seed)`` signature).
     """
 
-    def __init__(self, graph):
+    partitioner_name = "greedy"
+
+    def __init__(self, graph, *, seed=0):
         self.graph = graph
+        self.seed = seed
+
+    def _tiebreak_key(self):
+        """Map node name -> comparison key implementing the seed policy."""
+        names = sorted(node.name for node in self.graph.nodes)
+        if not self.seed:
+            return {name: name for name in names}
+        import random
+
+        shuffled = list(names)
+        random.Random(self.seed).shuffle(shuffled)
+        return {name: rank for rank, name in enumerate(shuffled)}
 
     def partition(self, observe=None):
         """Partition the graph; returns a :class:`PartitionResult`.
@@ -79,6 +112,7 @@ class GreedyPartitioner:
         """
         if observe is None:
             from repro.obs.core import NULL_RECORDER as observe
+        tiebreak = self._tiebreak_key()
         nodes = self.graph.nodes
         set_x = list(nodes)
         set_y = []
@@ -100,13 +134,13 @@ class GreedyPartitioner:
             for node in set_x:
                 # Moving `node` to Y removes its X-internal edges from the
                 # cost and adds its Y-internal edges.  Ties break on the
-                # lexicographically smallest node name — a stable,
-                # documented order independent of how the graph was built.
+                # smallest tie-break key (the node name under seed 0) — a
+                # stable order independent of how the graph was built.
                 delta = weight_to_y[node.name] - weight_to_x[node.name]
                 if delta < best_delta or (
                     delta == best_delta
                     and best_node is not None
-                    and node.name < best_node.name
+                    and tiebreak[node.name] < tiebreak[best_node.name]
                 ):
                     best_delta = delta
                     best_node = node

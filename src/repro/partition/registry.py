@@ -1,0 +1,64 @@
+"""Name -> partitioner registry, mirroring the simulator ``BACKENDS``.
+
+Every entry is a class with the uniform signature
+
+    Partitioner(graph, *, seed=0).partition(observe=None) -> PartitionResult
+
+so allocation strategies, the CLI's ``--partitioner`` flag, the fuzz
+oracle's partitioner stage, and the gap-to-optimal evaluation can all
+swap algorithms freely — one campaign seed steers greedy tie-breaks and
+annealing alike.  The registered algorithms:
+
+``greedy``
+    the paper's O(v^2) node-moving descent (Figure 5) — the default;
+``exact``
+    branch-and-bound minimum cost with interference-weight bounds,
+    provably optimal up to :data:`~repro.partition.exact.
+    ExactPartitioner.NODE_LIMIT` nodes (KL fallback beyond, flagged via
+    ``proved_optimal=False``);
+``anneal``
+    seeded simulated annealing started from the greedy partition;
+``kl``
+    Kernighan-Lin/FM pass refinement of the greedy partition.
+
+Adding an entry here is deliberately load-bearing:
+``tests/test_partitioner_registry.py`` asserts every registered name is
+selectable from every CLI command with a ``--partitioner`` flag and is
+covered by the fuzz oracle's partitioner stage, so a partitioner cannot
+ship without differential coverage.
+"""
+
+from repro.partition.anneal import AnnealPartitioner
+from repro.partition.exact import ExactPartitioner
+from repro.partition.greedy import GreedyPartitioner
+from repro.partition.kl import KLPartitioner
+
+#: name -> partitioner class; keep the paper's greedy first as default.
+PARTITIONERS = {
+    "greedy": GreedyPartitioner,
+    "exact": ExactPartitioner,
+    "anneal": AnnealPartitioner,
+    "kl": KLPartitioner,
+}
+
+#: the paper's algorithm, used wherever no explicit choice is made
+DEFAULT_PARTITIONER = "greedy"
+
+
+def make_partitioner(graph, partitioner=DEFAULT_PARTITIONER, seed=0):
+    """Instantiate the partitioner named *partitioner* over *graph*.
+
+    All registered classes honour the same constructor keywords and
+    return the same :class:`~repro.partition.greedy.PartitionResult`
+    shape (disjoint X/Y covering all nodes, non-increasing cost trace),
+    so callers may switch freely.  Raises :class:`ValueError` for an
+    unknown name; :data:`PARTITIONERS` lists the valid ones.
+    """
+    try:
+        cls = PARTITIONERS[partitioner]
+    except KeyError:
+        raise ValueError(
+            "unknown partitioner %r (choose from: %s)"
+            % (partitioner, ", ".join(sorted(PARTITIONERS)))
+        )
+    return cls(graph, seed=seed)

@@ -30,7 +30,11 @@ from repro.partition.duplication import (
     select_beneficial,
 )
 from repro.partition.graph_builder import build_interference_graph
-from repro.partition.greedy import GreedyPartitioner
+from repro.partition.registry import (
+    DEFAULT_PARTITIONER,
+    PARTITIONERS,
+    make_partitioner,
+)
 from repro.partition.weights import ProfileWeights, StaticDepthWeights
 
 
@@ -85,12 +89,16 @@ class AllocationResult:
         partition=None,
         duplicated=(),
         duplication_decisions=(),
+        partitioner=None,
     ):
         self.strategy = strategy
         #: The interference graph (None for SINGLE_BANK / IDEAL / FULL_DUP).
         self.graph = graph
-        #: The greedy :class:`PartitionResult` (None when not partitioned).
+        #: The :class:`PartitionResult` (None when not partitioned).
         self.partition = partition
+        #: Registry name of the partitioner that produced ``partition``
+        #: (None when the strategy does not partition).
+        self.partitioner = partitioner
         #: Symbols replicated into both banks.
         self.duplicated = list(duplicated)
         #: Selective-duplication log: (symbol, benefit, penalty, selected).
@@ -119,19 +127,34 @@ def _tag_memory_ops(module):
 
 
 def run_allocation(module, strategy, profile_counts=None, interrupt_safe=True,
-                   observe=None):
+                   observe=None, partitioner=DEFAULT_PARTITIONER,
+                   partitioner_seed=0):
     """Run the data-allocation pass over *module* under *strategy*.
 
     The module is mutated (symbol banks, memory-op tags, and — for the
     duplication strategies — rewritten stores), so each module instance
     may be allocated only once; build a fresh module per configuration.
 
+    ``partitioner`` names the interference-graph partitioner
+    (:data:`~repro.partition.registry.PARTITIONERS`; the paper's greedy
+    by default) used by the CB-family strategies; ``partitioner_seed``
+    is the one seed steering greedy tie-breaks and annealing alike.
+    Partitioners only move the cut cost, never program semantics, so
+    every choice compiles to a correct program (the fuzz oracle's
+    partitioner stage checks exactly that).
+
     ``observe`` is an optional :class:`~repro.obs.core.Recorder`; when
-    given, the graph build and the greedy partition each get a timed
-    span (``graph_build`` / ``partition``) with their headline metrics.
+    given, the graph build and the partition each get a timed span
+    (``graph_build`` / ``partition``) with their headline metrics, the
+    latter tagged with the partitioner name.
     """
     if observe is None:
         from repro.obs.core import NULL_RECORDER as observe
+    if partitioner not in PARTITIONERS:
+        raise ValueError(
+            "unknown partitioner %r (choose from: %s)"
+            % (partitioner, ", ".join(sorted(PARTITIONERS)))
+        )
     if getattr(module, "_allocated", None) is not None:
         raise RuntimeError(
             "module %r was already allocated with %s; rebuild it before "
@@ -177,8 +200,11 @@ def run_allocation(module, strategy, profile_counts=None, interrupt_safe=True,
             duplication_candidates=len(graph.duplication_candidates),
         )
     with observe.span("partition") as span:
-        partition = GreedyPartitioner(graph).partition(observe=observe)
+        partition = make_partitioner(
+            graph, partitioner, seed=partitioner_seed
+        ).partition(observe=observe)
         span.set(
+            partitioner=partitioner,
             initial_cost=partition.initial_cost,
             final_cost=partition.final_cost,
             moves=len(partition.cost_trace) - 1,
@@ -198,4 +224,7 @@ def run_allocation(module, strategy, profile_counts=None, interrupt_safe=True,
         chosen, decisions = select_beneficial(module, graph, weights)
         duplicated = duplicate_symbols(module, chosen, interrupt_safe)
     _tag_memory_ops(module)
-    return AllocationResult(strategy, graph, partition, duplicated, decisions)
+    return AllocationResult(
+        strategy, graph, partition, duplicated, decisions,
+        partitioner=partitioner,
+    )

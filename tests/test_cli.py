@@ -16,6 +16,7 @@ ALL_COMMANDS = (
     "fuzz",
     "faults",
     "graph",
+    "partition-gap",
 )
 
 
@@ -260,7 +261,7 @@ def test_report_workload_rejects_unknown_names():
 #: test_backend_flag_inventory)
 BACKEND_COMMANDS = (
     "run", "compare", "figure7", "figure8", "table3", "report", "faults",
-    "fuzz",
+    "fuzz", "partition-gap",
 )
 
 
@@ -316,6 +317,35 @@ def test_report_workload_jit_backend(capsys):
         == 0
     )
     assert "Observability report" in capsys.readouterr().out
+
+
+def test_partition_gap_subset_end_to_end(capsys, tmp_path):
+    import json
+
+    path = str(tmp_path / "gap.json")
+    assert (
+        main(["partition-gap", "--workload", "fir_32_1", "--json", path]) == 0
+    )
+    out = capsys.readouterr().out
+    assert "gap-to-optimal" in out
+    assert "fir_32_1" in out
+    with open(path) as handle:
+        report = json.load(handle)
+    assert report["order"] == ["fir_32_1"]
+    assert report["workloads"]["fir_32_1"]["gap"]["exact"] == 1.0
+
+
+def test_partition_gap_jit_backend(capsys):
+    assert (
+        main(["partition-gap", "--workload", "fir_32_1", "--backend", "jit"])
+        == 0
+    )
+    assert "gap-to-optimal" in capsys.readouterr().out
+
+
+def test_partition_gap_rejects_unknown_workload():
+    with pytest.raises(SystemExit):
+        main(["partition-gap", "--workload", "nonexistent"])
 
 
 def test_graph_command_produces_dot(capsys):

@@ -1,0 +1,114 @@
+"""Guard: a new partitioner cannot be registered half-way.
+
+Mirror of ``tests/test_backend_registry.py`` for the partitioner
+registry: every entry in :data:`repro.partition.registry.PARTITIONERS`
+must be selectable from every CLI command that takes ``--partitioner``,
+must be covered by the fuzz oracle's partitioner-identity stage, and
+must honour the uniform ``(graph, *, seed)`` construction contract —
+otherwise a partitioner could ship without differential coverage or
+without the one-campaign-seed determinism story.
+"""
+
+import argparse
+import inspect
+
+from repro import __main__ as cli
+from repro.fuzz.oracle import ORACLE_PARTITIONERS
+from repro.ir.symbols import Symbol
+from repro.partition.greedy import PartitionResult
+from repro.partition.interference import InterferenceGraph
+from repro.partition.registry import (
+    DEFAULT_PARTITIONER,
+    PARTITIONERS,
+    make_partitioner,
+)
+
+
+def _partitioner_choices_by_command():
+    """Map CLI command name -> choices of its ``--partitioner`` option."""
+    parser = cli.build_parser()
+    subparsers = next(
+        action
+        for action in parser._actions
+        if isinstance(action, argparse._SubParsersAction)
+    )
+    found = {}
+    for name, command in subparsers.choices.items():
+        for action in command._actions:
+            if "--partitioner" in action.option_strings:
+                found[name] = set(action.choices)
+    return found
+
+
+def test_every_partitioner_is_a_cli_choice_everywhere():
+    by_command = _partitioner_choices_by_command()
+    # the commands that partition must all expose --partitioner
+    for command in ("run", "compare", "figure7", "figure8", "table3",
+                    "report", "fuzz", "faults", "graph"):
+        assert command in by_command, (
+            "%s lost its --partitioner option" % command
+        )
+    for command, choices in by_command.items():
+        missing = set(PARTITIONERS) - choices
+        assert not missing, (
+            "partitioner(s) %s registered in PARTITIONERS but not "
+            "selectable via `%s --partitioner`" % (sorted(missing), command)
+        )
+
+
+def test_every_partitioner_is_oracle_covered():
+    missing = set(PARTITIONERS) - set(ORACLE_PARTITIONERS)
+    assert not missing, (
+        "partitioner(s) %s registered in PARTITIONERS but absent from the "
+        "fuzz oracle's partitioner-identity stage (ORACLE_PARTITIONERS)"
+        % sorted(missing)
+    )
+    unknown = set(ORACLE_PARTITIONERS) - set(PARTITIONERS)
+    assert not unknown, (
+        "oracle names unregistered partitioner(s) %s" % sorted(unknown)
+    )
+
+
+def test_partitioner_classes_implement_the_registry_contract():
+    """Uniform construction — ``cls(graph, *, seed=...)`` — and a
+    ``partitioner_name`` matching the registry key, so one campaign seed
+    can steer every entry identically."""
+    for name, cls in PARTITIONERS.items():
+        assert getattr(cls, "partitioner_name", None) == name
+        signature = inspect.signature(cls.__init__)
+        parameters = list(signature.parameters.values())
+        # self, graph positionally; seed keyword-only with a default
+        assert parameters[1].kind in (
+            inspect.Parameter.POSITIONAL_ONLY,
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+        ), name
+        seed = signature.parameters.get("seed")
+        assert seed is not None, "%s lacks the seed keyword" % name
+        assert seed.kind is inspect.Parameter.KEYWORD_ONLY, name
+        assert seed.default == 0, name
+
+
+def test_every_partitioner_returns_the_partition_result_shape():
+    symbols = [Symbol("s%d" % i, size=1) for i in range(4)]
+    for name in PARTITIONERS:
+        graph = InterferenceGraph()
+        for sym in symbols:
+            graph.add_node(sym)
+        graph.add_edge(symbols[0], symbols[1], 3)
+        graph.add_edge(symbols[2], symbols[3], 2)
+        result = make_partitioner(graph, name, seed=7).partition()
+        assert isinstance(result, PartitionResult), name
+        assert result.final_cost == 0, name
+
+
+def test_default_partitioner_is_registered():
+    assert DEFAULT_PARTITIONER in PARTITIONERS
+    assert DEFAULT_PARTITIONER == "greedy"  # the paper's heuristic
+
+
+def test_make_partitioner_rejects_unknown_names():
+    import pytest
+
+    graph = InterferenceGraph()
+    with pytest.raises(ValueError, match="unknown partitioner"):
+        make_partitioner(graph, "metis")
