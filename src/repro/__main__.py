@@ -33,11 +33,22 @@ partition-gap [--workload W ...] [--backend B] [--jobs J] [--json PATH]
     Gap-to-optimal evaluation: every registry workload partitioned by
     every registered partitioner, reporting final interference cost,
     the greedy-vs-exact cost ratio, and the realized cycles/PCR.
+serve [--host H] [--port P] [--workers N] [--cache-dir DIR] ...
+    Async compile-and-simulate service: JSON job submissions over a
+    socket, bounded-queue admission control, compatible jobs coalesced
+    onto the lockstep batch backend, results streamed back (see
+    docs/serving.md for the protocol).
 
 Every command that compiles under a CB-family strategy accepts
 ``--partitioner`` (greedy | exact | anneal | kl) selecting the
 interference-graph partitioner from the registry
-(:data:`repro.partition.registry.PARTITIONERS`).
+(:data:`repro.partition.registry.PARTITIONERS`).  The evaluation
+commands (run, compare, figure7, figure8, table3, report) and serve
+also accept ``--cache-dir DIR``: a persistent on-disk artifact store
+(:mod:`repro.serve.store`) that compiles read through, so repeated
+invocations skip recompilation; fuzz, faults, graph, and partition-gap
+bypass it by design (random or partitioner-swept content would only
+churn the store).
 """
 
 import argparse
@@ -90,25 +101,56 @@ def _workload(name):
     return table[name]
 
 
-def _profile(workload):
-    compiled = compile_module(workload.build(), strategy=Strategy.SINGLE_BANK)
+def _cli_cache(args):
+    """Resolve --cache-dir to a persistent compile cache (None without)."""
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir is None:
+        return None
+    from repro.serve.store import process_compile_cache
+
+    return process_compile_cache(cache_dir)
+
+
+def _profile(workload, cache=None, partitioner="greedy"):
+    from repro.evaluation.runner import _compile_cached
+
+    compiled = _compile_cached(
+        workload, Strategy.SINGLE_BANK, None, cache, partitioner=partitioner
+    )
     simulator = Simulator(compiled.program)
     result = simulator.run()
     return collect_block_counts(compiled.program, result)
 
 
 def _run_one(workload, strategy, software_pipelining=False, backend="interp",
-             partitioner="greedy"):
-    counts = _profile(workload) if strategy.needs_profile else None
-    compiled = compile_module(
-        workload.build(),
-        CompileOptions(
-            strategy=strategy,
-            profile_counts=counts,
-            software_pipelining=software_pipelining,
-            partitioner=partitioner,
-        ),
+             partitioner="greedy", cache=None):
+    if software_pipelining:
+        # Pipelined schedules are not part of the persistent cache key
+        # (options_signature covers them, but the in-memory runner key
+        # does not), so compile them directly rather than risk serving
+        # a non-pipelined artifact.
+        cache = None
+    counts = (
+        _profile(workload, cache=cache, partitioner=partitioner)
+        if strategy.needs_profile
+        else None
     )
+    if cache is None:
+        compiled = compile_module(
+            workload.build(),
+            CompileOptions(
+                strategy=strategy,
+                profile_counts=counts,
+                software_pipelining=software_pipelining,
+                partitioner=partitioner,
+            ),
+        )
+    else:
+        from repro.evaluation.runner import _compile_cached
+
+        compiled = _compile_cached(
+            workload, strategy, counts, cache, partitioner=partitioner
+        )
     simulator = make_simulator(compiled.program, backend=backend)
     result = simulator.run()
     workload.verify(simulator)
@@ -132,7 +174,7 @@ def cmd_run(args):
     strategy = _strategy(args.strategy)
     compiled, simulator, result = _run_one(
         workload, strategy, args.pipeline, backend=args.backend,
-        partitioner=args.partitioner,
+        partitioner=args.partitioner, cache=_cli_cache(args),
     )
     print(
         "%s under %s: %d cycles (%d ops, %.2f ops/cycle), verified OK"
@@ -167,11 +209,12 @@ def cmd_compare(args):
     if Strategy.SINGLE_BANK not in strategies:
         strategies.insert(0, Strategy.SINGLE_BANK)
     baseline = None
+    cache = _cli_cache(args)
     print("%-14s %10s %8s" % ("configuration", "cycles", "gain"))
     for strategy in strategies:
         _compiled, _sim, result = _run_one(
             workload, strategy, args.pipeline, backend=args.backend,
-            partitioner=args.partitioner,
+            partitioner=args.partitioner, cache=cache,
         )
         if baseline is None:
             baseline = result.cycles
@@ -188,6 +231,7 @@ def cmd_figure7(args):
 
     print(render_figure7(figure7(
         jobs=_jobs(args), backend=args.backend, partitioner=args.partitioner,
+        cache_dir=args.cache_dir,
     )))
     return 0
 
@@ -197,6 +241,7 @@ def cmd_figure8(args):
 
     print(render_figure8(figure8(
         jobs=_jobs(args), backend=args.backend, partitioner=args.partitioner,
+        cache_dir=args.cache_dir,
     )))
     return 0
 
@@ -206,6 +251,7 @@ def cmd_table3(args):
 
     print(render_table3(table3(
         jobs=_jobs(args), backend=args.backend, partitioner=args.partitioner,
+        cache_dir=args.cache_dir,
     )))
     return 0
 
@@ -217,12 +263,15 @@ def cmd_report(args):
     from repro.evaluation.reporting import render_markdown
 
     jobs, backend = _jobs(args), args.backend
-    partitioner = args.partitioner
+    partitioner, cache_dir = args.partitioner, args.cache_dir
     print(
         render_markdown(
-            figure7(jobs=jobs, backend=backend, partitioner=partitioner),
-            figure8(jobs=jobs, backend=backend, partitioner=partitioner),
-            table3(jobs=jobs, backend=backend, partitioner=partitioner),
+            figure7(jobs=jobs, backend=backend, partitioner=partitioner,
+                    cache_dir=cache_dir),
+            figure8(jobs=jobs, backend=backend, partitioner=partitioner,
+                    cache_dir=cache_dir),
+            table3(jobs=jobs, backend=backend, partitioner=partitioner,
+                   cache_dir=cache_dir),
         )
     )
     return 0
@@ -331,6 +380,23 @@ def cmd_graph(args):
     return 0
 
 
+def cmd_serve(args):
+    from repro.evaluation.parallel import resolve_jobs
+    from repro.serve.service import run_service
+
+    return run_service(
+        host=args.host,
+        port=args.port,
+        workers=resolve_jobs(args.workers),
+        cache_dir=args.cache_dir,
+        queue_limit=args.queue_limit,
+        batch_window=args.batch_window,
+        lanes=args.lanes,
+        timeout=args.timeout,
+        retries=args.retries,
+    )
+
+
 def cmd_partition_gap(args):
     import json
 
@@ -397,6 +463,16 @@ def build_parser():
             "(0 = all cores; explicit counts are honoured as given)",
         )
 
+    def add_cache_dir(command):
+        command.add_argument(
+            "--cache-dir",
+            default=None,
+            metavar="DIR",
+            help="persistent compiled-program artifact store: compiles "
+            "read through DIR, so identical builds across invocations "
+            "skip the pipeline (layout and eviction in docs/serving.md)",
+        )
+
     sub.add_parser("list", help="list all workloads").set_defaults(func=cmd_list)
 
     run = sub.add_parser("run", help="compile+simulate one workload")
@@ -408,6 +484,7 @@ def build_parser():
     run.add_argument("--stats", action="store_true", help="unit utilization")
     add_backend(run)
     add_partitioner(run)
+    add_cache_dir(run)
     run.set_defaults(func=cmd_run)
 
     compare = sub.add_parser("compare", help="compare configurations")
@@ -418,6 +495,7 @@ def build_parser():
     compare.add_argument("--pipeline", action="store_true")
     add_backend(compare)
     add_partitioner(compare)
+    add_cache_dir(compare)
     compare.set_defaults(func=cmd_compare)
 
     for name, func in (
@@ -429,6 +507,7 @@ def build_parser():
         add_backend(artifact)
         add_jobs(artifact)
         add_partitioner(artifact)
+        add_cache_dir(artifact)
         artifact.set_defaults(func=func)
 
     report = sub.add_parser(
@@ -459,6 +538,7 @@ def build_parser():
     add_backend(report)
     add_jobs(report)
     add_partitioner(report)
+    add_cache_dir(report)
     report.set_defaults(func=cmd_report)
 
     fuzz = sub.add_parser(
@@ -579,6 +659,51 @@ def build_parser():
     add_backend(gap)
     add_jobs(gap)
     gap.set_defaults(func=cmd_partition_gap)
+
+    serve = sub.add_parser(
+        "serve",
+        help="async compile-and-simulate service over a JSON-lines socket",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=nonnegative_int, default=7421, metavar="P",
+        help="port to bind; 0 picks an ephemeral port, printed on "
+        "startup (default 7421)",
+    )
+    serve.add_argument(
+        "--workers", type=nonnegative_int, default=None, metavar="N",
+        help="supervised worker processes for job execution (0 = all "
+        "cores; default: serial in-process execution, lowest latency)",
+    )
+    serve.add_argument(
+        "--queue-limit", type=nonnegative_int, default=256, metavar="N",
+        help="bounded job queue depth; submissions past it are "
+        "rejected immediately instead of buffered (default 256)",
+    )
+    serve.add_argument(
+        "--batch-window", type=nonnegative_int, default=32, metavar="N",
+        help="max queued jobs drained per dispatch round, the "
+        "coalescing opportunity window (default 32)",
+    )
+    serve.add_argument(
+        "--lanes", type=nonnegative_int, default=64, metavar="N",
+        help="max lockstep lanes per batched simulation (default 64)",
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=None, metavar="SEC",
+        help="per-group wall-clock budget enforced by the supervisor "
+        "(requires --workers)",
+    )
+    serve.add_argument(
+        "--retries", type=nonnegative_int, default=2, metavar="K",
+        help="retry budget per group for timeouts and worker deaths "
+        "(default 2)",
+    )
+    add_cache_dir(serve)
+    serve.set_defaults(func=cmd_serve)
     return parser
 
 

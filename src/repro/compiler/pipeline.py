@@ -86,6 +86,33 @@ class CompileResult:
         return self.program.size
 
 
+def options_signature(options):
+    """The cache-relevant projection of a :class:`CompileOptions`.
+
+    Returns a tuple of ``(name, value)`` pairs covering every option
+    that changes the emitted program: the strategy, the partitioner and
+    its tie-break seed (two seeds can legally produce two different
+    optimal partitions, so they must never share a cache entry), and
+    the optional passes.  ``profile_counts`` and ``observe`` are
+    deliberately absent — profile counts are keyed separately (they are
+    inputs, not options) and a recorder never changes the output.
+
+    This is the canonical compile half of a persistent artifact-store
+    key (:mod:`repro.serve.store`); any new ``CompileOptions`` field
+    that affects codegen must be added here, which the cache-key drift
+    tests in ``tests/serve/test_store.py`` hold.
+    """
+    return (
+        ("strategy", options.strategy.name),
+        ("interrupt_safe", bool(options.interrupt_safe)),
+        ("software_pipelining", bool(options.software_pipelining)),
+        ("optimize", bool(options.optimize)),
+        ("unroll_factor", int(options.unroll_factor)),
+        ("partitioner", options.partitioner),
+        ("partitioner_seed", int(options.partitioner_seed)),
+    )
+
+
 def compile_module(module, options=None, **kwargs):
     """Compile *module*; returns a :class:`CompileResult`.
 

@@ -40,12 +40,13 @@ class FigureSeries:
 
 
 def _collect(title, table, order, strategies, labels, verify=True, subset=None,
-             jobs=None, backend="interp", partitioner="greedy"):
+             jobs=None, backend="interp", partitioner="greedy",
+             cache_dir=None):
     names = order if subset is None else [n for n in order if n in subset]
     gains = {label: {} for label in labels}
     evaluations = evaluate_workloads(
         table, names, strategies, jobs=jobs, backend=backend, verify=verify,
-        partitioner=partitioner,
+        partitioner=partitioner, cache_dir=cache_dir,
     )
     for name in names:
         evaluation = evaluations[name]
@@ -55,7 +56,7 @@ def _collect(title, table, order, strategies, labels, verify=True, subset=None,
 
 
 def figure7(verify=True, subset=None, jobs=None, backend="interp",
-            partitioner="greedy"):
+            partitioner="greedy", cache_dir=None):
     """Figure 7: kernel performance gains (CB and Ideal)."""
     return _collect(
         "Figure 7: Performance Gain for DSP Kernels",
@@ -68,11 +69,12 @@ def figure7(verify=True, subset=None, jobs=None, backend="interp",
         jobs=jobs,
         backend=backend,
         partitioner=partitioner,
+        cache_dir=cache_dir,
     )
 
 
 def figure8(verify=True, subset=None, jobs=None, backend="interp",
-            partitioner="greedy"):
+            partitioner="greedy", cache_dir=None):
     """Figure 8: application gains (CB, Pr, Dup, Ideal)."""
     return _collect(
         "Figure 8: Performance Gain for DSP Applications",
@@ -85,4 +87,5 @@ def figure8(verify=True, subset=None, jobs=None, backend="interp",
         jobs=jobs,
         backend=backend,
         partitioner=partitioner,
+        cache_dir=cache_dir,
     )

@@ -792,24 +792,38 @@ def _profile_counts(workload, backend, cache):
     return collect_block_counts(compiled.program, result)
 
 
-def _measure_pair(name, strategy_name, backend, verify, partitioner="greedy"):
+def _worker_cache(cache_dir):
+    """The compile cache a worker (or the serial leg) reads through:
+    the plain per-process dict without a *cache_dir*, the persistent
+    artifact-store tier (:func:`repro.serve.store.process_compile_cache`,
+    fronted by the same per-process dict) with one."""
+    if cache_dir is None:
+        return _PROCESS_CACHE
+    from repro.serve.store import process_compile_cache
+
+    return process_compile_cache(cache_dir, memory=_PROCESS_CACHE)
+
+
+def _measure_pair(name, strategy_name, backend, verify, partitioner="greedy",
+                  cache_dir=None):
     """Worker entry point: one (workload, strategy) measurement."""
     from repro.workloads.registry import get_workload
 
     workload = get_workload(name)
     strategy = Strategy[strategy_name]
+    cache = _worker_cache(cache_dir)
     counts = None
     if strategy.needs_profile:
-        counts = _profile_counts(workload, backend, _PROCESS_CACHE)
+        counts = _profile_counts(workload, backend, cache)
     measurement, _compiled, _result = _run_once(
         workload, strategy, profile_counts=counts, verify=verify,
-        backend=backend, cache=_PROCESS_CACHE, partitioner=partitioner,
+        backend=backend, cache=cache, partitioner=partitioner,
     )
     return name, measurement
 
 
 def evaluate_workloads(table, names, strategies, jobs=None, backend="interp",
-                       verify=True, partitioner="greedy"):
+                       verify=True, partitioner="greedy", cache_dir=None):
     """Evaluate *names* (keys of *table*) under *strategies* in parallel.
 
     Returns ``{name: WorkloadEvaluation}`` in *names* order.  With
@@ -819,11 +833,16 @@ def evaluate_workloads(table, names, strategies, jobs=None, backend="interp",
     ``partitioner`` selects the interference-graph partitioner for every
     CB-family configuration (measurements are deterministic per
     partitioner, so serial and fanned-out runs agree for any choice).
+    ``cache_dir`` routes every compile through the persistent artifact
+    store at that path (:mod:`repro.serve.store`) — serial and worker
+    legs alike — so repeated evaluations skip recompilation entirely;
+    results stay bit-identical because cache hits return the same
+    deterministic compile.
     """
     if jobs is not None and jobs < 0:
         raise ValueError("jobs must be >= 0, got %d" % jobs)
     if not jobs or jobs == 1:
-        cache = {}
+        cache = {} if cache_dir is None else _worker_cache(cache_dir)
         return {
             name: evaluate_workload(
                 table[name], strategies, verify=verify, backend=backend,
@@ -836,10 +855,13 @@ def evaluate_workloads(table, names, strategies, jobs=None, backend="interp",
     tasks = []
     for name in names:
         tasks.append(
-            (name, Strategy.SINGLE_BANK.name, backend, verify, partitioner)
+            (name, Strategy.SINGLE_BANK.name, backend, verify, partitioner,
+             cache_dir)
         )
         for strategy in wanted:
-            tasks.append((name, strategy.name, backend, verify, partitioner))
+            tasks.append(
+                (name, strategy.name, backend, verify, partitioner, cache_dir)
+            )
 
     collected = {name: {} for name in names}
     for name, measurement in parallel_map(_measure_pair, tasks, jobs=jobs):

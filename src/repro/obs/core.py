@@ -165,6 +165,23 @@ class Recorder:
         else:
             self.counters[name] = self.counters.get(name, 0) + amount
 
+    def absorb(self, counters):
+        """Fold a ``{name: amount}`` counter snapshot into this recorder.
+
+        The cross-process aggregation primitive: a worker (or a serve
+        job result) ships its counters as plain data, and the parent
+        recorder accumulates them under :meth:`counter` semantics —
+        onto the innermost open span if one is active, globally
+        otherwise.  Non-numeric values are skipped (snapshots may carry
+        labels alongside tallies).
+        """
+        for name, amount in sorted(counters.items()):
+            if isinstance(amount, bool) or not isinstance(
+                amount, (int, float)
+            ):
+                continue
+            self.counter(name, amount)
+
     def find(self, name):
         """First span named *name* anywhere in the recorded forest."""
         for root in self.spans:
@@ -229,6 +246,9 @@ class NullRecorder:
 
     def counter(self, name, amount=1):
         """Discard the count."""
+
+    def absorb(self, counters):
+        """Discard the snapshot."""
 
     def find(self, name):
         """Nothing is ever recorded, so nothing is ever found."""

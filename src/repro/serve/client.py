@@ -1,0 +1,103 @@
+"""Synchronous client for the ``repro serve`` JSON-lines protocol.
+
+The benchmark and the e2e tests drive the service through this; it is
+also the reference implementation for anyone writing a client in
+another language (the protocol is just newline-delimited JSON over
+TCP, :mod:`repro.serve.protocol`).
+
+    with ServeClient(host, port) as client:
+        results = client.run_jobs([
+            {"kind": "run", "workload": "fir_32_1", "strategy": "CB"},
+            {"kind": "recipe", "recipe": recipe.to_dict()},
+        ])
+
+``run_jobs`` pipelines every submission before reading any terminal
+event, so the service can coalesce compatible jobs into lockstep
+batches; per-job wall-clock latency is recorded in each returned
+event's ``latency_s`` (client-measured, submission to terminal event).
+"""
+
+import json
+import socket
+import time
+
+
+class ServeClient:
+    """One TCP connection to a :class:`~repro.serve.service.SimService`."""
+
+    def __init__(self, host, port, timeout=60.0):
+        self._socket = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._socket.makefile("rb")
+
+    def close(self):
+        """Close the connection (idempotent)."""
+        try:
+            self._reader.close()
+        finally:
+            try:
+                self._socket.close()
+            except OSError:
+                pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, _exc_type, _exc, _tb):
+        self.close()
+
+    # -- low level -----------------------------------------------------
+    def send(self, request):
+        """Ship one request dict as a JSON line."""
+        self._socket.sendall(
+            (json.dumps(request, sort_keys=True) + "\n").encode()
+        )
+
+    def read_event(self):
+        """Block for the next response event; None on EOF."""
+        line = self._reader.readline()
+        if not line:
+            return None
+        return json.loads(line)
+
+    # -- conveniences --------------------------------------------------
+    def stats(self):
+        """The service's counter snapshot (the ``stats`` request)."""
+        self.send({"kind": "stats"})
+        while True:
+            event = self.read_event()
+            if event is None:
+                raise ConnectionError("service closed during stats request")
+            if event.get("event") == "stats":
+                return event["counters"]
+
+    def run_jobs(self, jobs):
+        """Submit *jobs* (pipelined) and collect each one's terminal event.
+
+        Returns terminal events (``result``/``error``/``rejected``) in
+        submission order, each annotated with client-measured
+        ``latency_s``.  Ids are assigned locally when absent so ordering
+        can be reconstructed from the interleaved stream.
+        """
+        jobs = [dict(job) for job in jobs]
+        submitted = {}
+        for index, job in enumerate(jobs):
+            job.setdefault("id", "client-%d" % index)
+            submitted[job["id"]] = index
+            self.send(job)
+        start = {job["id"]: time.perf_counter() for job in jobs}
+        terminal = {}
+        while len(terminal) < len(jobs):
+            event = self.read_event()
+            if event is None:
+                raise ConnectionError(
+                    "service closed with %d job(s) outstanding"
+                    % (len(jobs) - len(terminal))
+                )
+            job_id = event.get("id")
+            if event.get("event") == "accepted" or job_id not in submitted:
+                continue
+            event["latency_s"] = round(
+                time.perf_counter() - start[job_id], 6
+            )
+            terminal[job_id] = event
+        return [terminal[job["id"]] for job in jobs]

@@ -1,0 +1,177 @@
+"""The ``repro serve`` wire protocol: JSON-lines jobs and responses.
+
+One TCP connection carries newline-delimited JSON in both directions.
+Every request line is a **job** (or the ``stats`` control request); the
+service answers each job with an ``accepted`` or ``rejected`` event
+immediately, then streams exactly one terminal ``result`` or ``error``
+event when the job finishes.  Events for different jobs interleave
+freely — clients correlate on ``id``.
+
+Job schema (``kind`` selects the payload)::
+
+    {"kind": "run",    "workload": "fir_32_1",
+     "strategy": "CB", "partitioner": "greedy", "backend": "interp",
+     "writes": {"x": [..]}, "reads": ["out"], "id": "optional"}
+    {"kind": "recipe", "recipe": {...fuzz recipe dict...},
+     "strategy": "CB", ...}
+    {"kind": "stats"}
+
+Error taxonomy — the ``category`` field of ``error`` events maps
+one-to-one from :mod:`repro.sim.errors`:
+
+* ``program`` / ``machine`` / ``internal`` — the structured simulator
+  taxonomy, with ``pc``/``cycle``/``backend`` carried through;
+* ``protocol`` — the request itself was malformed (unparseable JSON,
+  unknown kind/strategy/backend/partitioner, bad field types); the
+  offending field is named in ``message``.
+
+Admission control is a distinct ``rejected`` event (not an error): the
+job was well-formed but the bounded queue is full — resubmit later.
+
+See ``docs/serving.md`` for the full schema and worked transcripts.
+"""
+
+import json
+
+from repro.partition.registry import PARTITIONERS
+from repro.partition.strategies import Strategy
+from repro.sim.errors import categorize
+from repro.sim.fastsim import BACKENDS
+
+PROTOCOL_VERSION = 1
+
+#: request kinds that enqueue work (``stats`` is answered inline)
+JOB_KINDS = ("run", "recipe")
+
+#: hard per-line budget — a submission larger than this is rejected
+#: before parsing (protects the service from unbounded buffering)
+MAX_LINE_BYTES = 4 * 1024 * 1024
+
+
+class JobError(ValueError):
+    """A submission failed validation; ``field`` names the culprit."""
+
+    def __init__(self, message, field=None):
+        super().__init__(message)
+        self.field = field
+
+
+def encode(message):
+    """One response/request dict as a JSON line (bytes, newline-terminated)."""
+    return (json.dumps(message, sort_keys=True, default=repr) + "\n").encode()
+
+
+def decode(line):
+    """Parse one request line; raises :class:`JobError` on bad JSON."""
+    try:
+        obj = json.loads(line)
+    except ValueError as error:
+        raise JobError("unparseable JSON: %s" % error)
+    if not isinstance(obj, dict):
+        raise JobError("a request must be a JSON object")
+    return obj
+
+
+def _require_name(job, field, table, label):
+    value = job.get(field)
+    if value not in table:
+        raise JobError(
+            "unknown %s %r (choose from: %s)"
+            % (label, value, ", ".join(sorted(str(k) for k in table))),
+            field=field,
+        )
+    return value
+
+
+def validate_job(obj):
+    """Validate and normalize one job submission.
+
+    Returns a plain-JSON job dict with every optional field defaulted
+    (``strategy`` CB, ``partitioner`` greedy, ``backend`` interp, empty
+    ``writes``/``reads``); raises :class:`JobError` naming the offending
+    field otherwise.  Ids are the caller's business: the service assigns
+    one when absent.
+    """
+    kind = obj.get("kind")
+    if kind not in JOB_KINDS:
+        raise JobError(
+            "unknown kind %r (choose from: %s)" % (kind, ", ".join(JOB_KINDS)),
+            field="kind",
+        )
+    job = {
+        "kind": kind,
+        "strategy": obj.get("strategy", "CB"),
+        "partitioner": obj.get("partitioner", "greedy"),
+        "backend": obj.get("backend", "interp"),
+        "writes": obj.get("writes") or {},
+        "reads": obj.get("reads") or [],
+    }
+    if "id" in obj:
+        job["id"] = str(obj["id"])
+    _require_name(job, "strategy", Strategy.__members__, "strategy")
+    _require_name(job, "partitioner", PARTITIONERS, "partitioner")
+    _require_name(job, "backend", BACKENDS, "backend")
+    if not isinstance(job["writes"], dict):
+        raise JobError("writes must map global names to values", field="writes")
+    if not isinstance(job["reads"], (list, tuple)):
+        raise JobError("reads must be a list of global names", field="reads")
+    job["reads"] = [str(name) for name in job["reads"]]
+    if kind == "run":
+        workload = obj.get("workload")
+        if not isinstance(workload, str) or not workload:
+            raise JobError("run jobs need a workload name", field="workload")
+        from repro.workloads.registry import all_workloads
+
+        _require_name({"workload": workload}, "workload",
+                      all_workloads(), "workload")
+        job["workload"] = workload
+    else:
+        recipe = obj.get("recipe")
+        if not isinstance(recipe, dict):
+            raise JobError("recipe jobs need a recipe dict", field="recipe")
+        job["recipe"] = recipe
+    return job
+
+
+def error_event(job_id, exc):
+    """Map *exc* onto the response error taxonomy.
+
+    Simulator faults keep their :mod:`repro.sim.errors` category and
+    location context; :class:`JobError` maps to ``protocol``; anything
+    else is ``internal``.
+    """
+    event = {
+        "event": "error",
+        "id": job_id,
+        "kind": type(exc).__name__,
+        "message": str(exc),
+    }
+    if isinstance(exc, JobError):
+        event["category"] = "protocol"
+        if exc.field is not None:
+            event["field"] = exc.field
+        return event
+    event["category"] = categorize(exc) or "internal"
+    for attribute in ("pc", "cycle", "backend", "seed"):
+        value = getattr(exc, attribute, None)
+        if value is not None:
+            event[attribute] = value
+    return event
+
+
+def error_event_from_description(job_id, description):
+    """Same mapping as :func:`error_event`, from a JSON fault description
+    (the :func:`repro.sim.errors.describe_fault` shape worker processes
+    ship instead of live exceptions)."""
+    event = {
+        "event": "error",
+        "id": job_id,
+        "kind": description.get("kind", "Error"),
+        "message": description.get("message", ""),
+        "category": description.get("category") or "internal",
+    }
+    for attribute in ("pc", "cycle", "backend", "seed"):
+        value = description.get(attribute)
+        if value is not None:
+            event[attribute] = value
+    return event

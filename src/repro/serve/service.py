@@ -1,0 +1,296 @@
+"""The asyncio compile-and-simulate service behind ``repro serve``.
+
+Architecture (one process, one event loop)::
+
+    client --- JSON lines ---> handler --+--> bounded asyncio.Queue
+    client <-- accepted/rejected --------+         |
+                                                   v  (drain <= batch_window)
+    client <-- result/error  <---- dispatcher -- coalesce by compile key
+                                                   |
+                                     run_in_executor(supervised_map)
+                                                   |
+                                  execute_group: artifact store -> batch_map
+
+* **Admission control** — the job queue is bounded
+  (``queue_limit``); a submission that finds it full is answered with a
+  ``rejected`` event immediately instead of buffering without bound.
+  Well-formed jobs get an ``accepted`` event carrying their id.
+* **Coalescing** — the dispatcher drains up to ``batch_window`` queued
+  jobs at a time and groups them by
+  :func:`~repro.serve.jobs.job_compile_key`; each group compiles once
+  (through the persistent artifact store when ``cache_dir`` is set) and
+  groups of two or more execute as lanes of one lockstep ``batch``
+  simulation.
+* **Supervision** — groups run through
+  :func:`~repro.evaluation.parallel.supervised_map`: ``workers=None``
+  executes serially in the executor thread (lowest latency, the
+  default), ``workers >= 1`` spawns the supervised process pool and
+  buys per-group ``timeout`` termination, bounded ``retries``, and
+  dead-worker replacement, at the cost of dispatch IPC.
+* **Streaming** — each client connection receives its own jobs' events
+  as they complete; unrelated jobs never block each other's responses
+  beyond their shared dispatch round.
+
+Counters land on the service :class:`~repro.obs.core.Recorder`
+(``serve.accepted``, ``serve.rejected``, ``serve.results``,
+``serve.errors``, ``serve.groups``, ``serve.coalesced`` …) and are
+served to clients via the ``stats`` request.  See ``docs/serving.md``.
+"""
+
+import asyncio
+import json
+
+from repro.obs.core import Recorder
+from repro.serve import protocol
+from repro.serve.jobs import execute_group, job_compile_key
+
+
+def _execute_groups(groups, cache_dir, workers, lanes, timeout, retries):
+    """Blocking leg of one dispatch round (runs in the executor thread):
+    every group through one :func:`supervised_map` call."""
+    from repro.evaluation.parallel import supervised_map
+
+    return supervised_map(
+        execute_group,
+        [(group, cache_dir, lanes) for group in groups],
+        jobs=workers,
+        timeout=timeout,
+        retries=retries,
+    )
+
+
+class SimService:
+    """One ``repro serve`` instance: socket front-end, bounded queue,
+    coalescing dispatcher, supervised execution (module docstring has
+    the architecture)."""
+
+    def __init__(self, host="127.0.0.1", port=0, workers=None,
+                 cache_dir=None, queue_limit=256, batch_window=32,
+                 lanes=64, timeout=None, retries=2, observe=None):
+        self.host = host
+        self.port = port
+        self.workers = workers
+        self.cache_dir = cache_dir
+        self.queue_limit = queue_limit
+        self.batch_window = batch_window
+        self.lanes = lanes
+        self.timeout = timeout
+        self.retries = retries
+        self.observe = observe if observe is not None else Recorder()
+        self._queue = None
+        self._server = None
+        self._dispatcher = None
+        self._sequence = 0
+        #: test hook: a paused dispatcher leaves jobs in the queue so
+        #: admission control is deterministically observable
+        self.paused = False
+
+    # -- lifecycle -----------------------------------------------------
+    async def start(self):
+        """Bind the socket and start the dispatcher; returns (host, port)
+        actually bound (``port=0`` picks an ephemeral port)."""
+        self._queue = asyncio.Queue(maxsize=self.queue_limit)
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, self.port
+        )
+        self.host, self.port = self._server.sockets[0].getsockname()[:2]
+        self._dispatcher = asyncio.ensure_future(self._dispatch_loop())
+        return self.host, self.port
+
+    async def serve_forever(self):
+        """Run until cancelled (the CLI entry point's main await)."""
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self):
+        """Tear the server and dispatcher down (idempotent)."""
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+            self._dispatcher = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- client side ---------------------------------------------------
+    async def _handle_client(self, reader, writer):
+        self.observe.counter("serve.connections")
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionResetError, asyncio.LimitOverrunError):
+                    break
+                if not line:
+                    break
+                if len(line) > protocol.MAX_LINE_BYTES:
+                    await self._send(writer, protocol.error_event(
+                        None, protocol.JobError("request line too large")
+                    ))
+                    continue
+                await self._handle_line(line, writer)
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, OSError):
+                pass
+
+    async def _handle_line(self, line, writer):
+        request = None
+        try:
+            request = protocol.decode(line)
+            if request.get("kind") == "stats":
+                await self._send(writer, self._stats_event())
+                return
+            job = protocol.validate_job(request)
+        except protocol.JobError as error:
+            self.observe.counter("serve.protocol_errors")
+            job_id = request.get("id") if isinstance(request, dict) else None
+            await self._send(writer, protocol.error_event(job_id, error))
+            return
+        if "id" not in job:
+            self._sequence += 1
+            job["id"] = "job-%d" % self._sequence
+        try:
+            self._queue.put_nowait((job, writer))
+        except asyncio.QueueFull:
+            self.observe.counter("serve.rejected")
+            await self._send(writer, {
+                "event": "rejected",
+                "id": job["id"],
+                "reason": "queue full",
+                "queued": self._queue.qsize(),
+                "limit": self.queue_limit,
+            })
+            return
+        self.observe.counter("serve.accepted")
+        await self._send(writer, {"event": "accepted", "id": job["id"]})
+
+    async def _send(self, writer, event):
+        if event is None:
+            return
+        try:
+            writer.write(protocol.encode(event))
+            await writer.drain()
+        except (ConnectionResetError, OSError):
+            pass  # client went away; results are recomputable by design
+
+    def _stats_event(self):
+        counters = dict(self.observe.counters)
+        counters["queue_depth"] = self._queue.qsize() if self._queue else 0
+        return {"event": "stats", "counters": counters}
+
+    # -- dispatcher ----------------------------------------------------
+    async def _dispatch_loop(self):
+        loop = asyncio.get_event_loop()
+        while True:
+            if self.paused:
+                await asyncio.sleep(0.01)
+                continue
+            entry = await self._queue.get()
+            batch = [entry]
+            while len(batch) < self.batch_window:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            groups = {}
+            for job, writer in batch:
+                groups.setdefault(job_compile_key(job), []).append(
+                    (job, writer)
+                )
+            ordered = list(groups.values())
+            self.observe.counter("serve.dispatches")
+            self.observe.counter("serve.groups", len(ordered))
+            self.observe.counter(
+                "serve.coalesced",
+                sum(len(g) - 1 for g in ordered if len(g) > 1),
+            )
+            try:
+                results = await loop.run_in_executor(
+                    None,
+                    _execute_groups,
+                    [[job for job, _writer in group] for group in ordered],
+                    self.cache_dir,
+                    self.workers,
+                    self.lanes,
+                    self.timeout,
+                    self.retries,
+                )
+            except asyncio.CancelledError:
+                raise
+            except Exception as error:
+                # Supervision exhausted (timeout/worker death past the
+                # retry budget) or an infrastructure bug: every job in
+                # the round gets a terminal error event.
+                self.observe.counter("serve.dispatch_failures")
+                for group in ordered:
+                    for job, writer in group:
+                        self.observe.counter("serve.errors")
+                        await self._send(
+                            writer, protocol.error_event(job["id"], error)
+                        )
+                continue
+            for group, group_results in zip(ordered, results):
+                group_obs = (group_results[0].get("obs") or {}) if group_results else {}
+                self.observe.absorb({
+                    "serve.compile_s": group_obs.get("compile_s") or 0.0,
+                    "serve.sim_s": group_obs.get("sim_s") or 0.0,
+                })
+                if group_obs.get("cache") == "store":
+                    self.observe.counter("serve.store_hits")
+                elif group_obs.get("cache") == "compile":
+                    self.observe.counter("serve.store_misses")
+                for (job, writer), result in zip(group, group_results):
+                    event = dict(result)
+                    event["event"] = "result" if result.get("ok") else "error"
+                    if not result.get("ok"):
+                        fault = event.pop("fault", {})
+                        event = protocol.error_event_from_description(
+                            job["id"], fault
+                        )
+                        event["obs"] = result.get("obs")
+                        self.observe.counter("serve.errors")
+                    else:
+                        self.observe.counter("serve.results")
+                    await self._send(writer, event)
+
+
+def run_service(host="127.0.0.1", port=0, workers=None, cache_dir=None,
+                queue_limit=256, batch_window=32, lanes=64, timeout=None,
+                retries=2, log=print):
+    """Blocking CLI entry point: start a :class:`SimService` and serve
+    until interrupted.  Prints the bound address (flushed, so wrappers
+    and tests can parse the ephemeral port) before blocking."""
+    service = SimService(
+        host=host, port=port, workers=workers, cache_dir=cache_dir,
+        queue_limit=queue_limit, batch_window=batch_window, lanes=lanes,
+        timeout=timeout, retries=retries,
+    )
+
+    async def _main():
+        bound_host, bound_port = await service.start()
+        log("serving on %s:%d" % (bound_host, bound_port))
+        if cache_dir:
+            log("artifact store: %s" % cache_dir)
+        try:
+            await service.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await service.stop()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        log("interrupted; shutting down")
+        counters = json.dumps(
+            dict(service.observe.counters), sort_keys=True
+        )
+        log("final counters: %s" % counters)
+    return 0

@@ -436,3 +436,34 @@ def test_pool_leg_journals_started_then_completed(tmp_path):
         entries = [json.loads(line) for line in handle if line.strip()]
     assert sum(1 for entry in entries if entry.get("started")) == 3
     _assert_no_orphans()
+
+
+# ----------------------------------------------------------------------
+# Persistent artifact store integration (--cache-dir)
+# ----------------------------------------------------------------------
+def test_evaluate_workloads_cache_dir_is_bit_identical(tmp_path):
+    """Routing compiles through the on-disk store must not change any
+    measurement: cold store, warm store, and no store all agree."""
+    from repro.workloads.registry import all_workloads
+
+    table = all_workloads()
+    names = ["fir_32_1", "mult_4_4"]
+    strategies = [Strategy.SINGLE_BANK, Strategy.CB]
+    cache_dir = str(tmp_path / "store")
+
+    plain = evaluate_workloads(table, names, strategies)
+    cold = evaluate_workloads(table, names, strategies, cache_dir=cache_dir)
+    warm = evaluate_workloads(table, names, strategies, cache_dir=cache_dir)
+    fanned = evaluate_workloads(
+        table, names, strategies, jobs=2, cache_dir=cache_dir
+    )
+    for name in names:
+        for strategy in strategies:
+            reference = plain[name].cycles(strategy)
+            assert cold[name].cycles(strategy) == reference
+            assert warm[name].cycles(strategy) == reference
+            assert fanned[name].cycles(strategy) == reference
+
+    import os
+
+    assert os.listdir(os.path.join(cache_dir, "objects"))

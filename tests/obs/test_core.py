@@ -117,3 +117,34 @@ def test_real_recorder_is_enabled_and_spans_are_distinct():
     assert recorder.enabled
     assert recorder.span("a") is not recorder.span("a")
     assert isinstance(recorder.span("a"), Span)
+
+
+# ----------------------------------------------------------------------
+# absorb: cross-process counter aggregation
+# ----------------------------------------------------------------------
+def test_absorb_accumulates_numeric_counters():
+    recorder = Recorder()
+    recorder.counter("serve.results", 1)
+    recorder.absorb({"serve.results": 2, "serve.compile_s": 0.5})
+    recorder.absorb({"serve.compile_s": 0.25})
+    assert recorder.counters["serve.results"] == 3
+    assert recorder.counters["serve.compile_s"] == 0.75
+
+
+def test_absorb_skips_labels_and_booleans():
+    recorder = Recorder()
+    recorder.absorb({"cache": "store", "ok": True, "count": 4})
+    assert recorder.counters == {"count": 4}
+
+
+def test_absorb_inside_a_span_lands_on_the_span():
+    recorder = Recorder()
+    with recorder.span("dispatch") as span:
+        recorder.absorb({"jobs": 5})
+    assert span.counters["jobs"] == 5
+    assert "jobs" not in recorder.counters
+
+
+def test_null_recorder_absorb_is_a_noop():
+    NULL_RECORDER.absorb({"anything": 1})
+    assert NULL_RECORDER.counters == {}

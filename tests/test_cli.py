@@ -17,6 +17,7 @@ ALL_COMMANDS = (
     "faults",
     "graph",
     "partition-gap",
+    "serve",
 )
 
 
@@ -276,6 +277,55 @@ def test_backend_flag_inventory():
         if any("--backend" in action.option_strings for action in sub._actions)
     }
     assert with_backend == set(BACKEND_COMMANDS)
+
+
+#: every subcommand that accepts --cache-dir (kept in sync by
+#: test_cache_dir_flag_inventory) — the compiling evaluation commands
+#: plus the service; fuzz/faults/graph/partition-gap bypass the store
+#: by design (random or partitioner-swept content would only churn it)
+CACHE_DIR_COMMANDS = (
+    "run", "compare", "figure7", "figure8", "table3", "report", "serve",
+)
+
+
+def test_cache_dir_flag_inventory():
+    parser = build_parser()
+    subparsers = parser._subparsers._group_actions[0].choices
+    with_cache_dir = {
+        name
+        for name, sub in subparsers.items()
+        if any(
+            "--cache-dir" in action.option_strings for action in sub._actions
+        )
+    }
+    assert with_cache_dir == set(CACHE_DIR_COMMANDS)
+
+
+def test_run_command_cache_dir_warm_and_cold(capsys, tmp_path):
+    """`run --cache-dir` populates the store; a second invocation reads
+    through it and prints the identical report."""
+    cache = str(tmp_path / "cache")
+    assert main(["run", "fir_32_1", "--cache-dir", cache]) == 0
+    cold = capsys.readouterr().out
+    import os
+
+    assert os.listdir(os.path.join(cache, "objects"))
+    assert main(["run", "fir_32_1", "--cache-dir", cache]) == 0
+    assert capsys.readouterr().out == cold
+
+
+def test_compare_command_cache_dir(capsys, tmp_path):
+    cache = str(tmp_path / "cache")
+    assert (
+        main(["compare", "fir_32_1", "--strategies", "CB",
+              "--cache-dir", cache]) == 0
+    )
+    baseline = capsys.readouterr().out
+    assert (
+        main(["compare", "fir_32_1", "--strategies", "CB",
+              "--cache-dir", cache]) == 0
+    )
+    assert capsys.readouterr().out == baseline
 
 
 def test_jit_backend_is_a_cli_choice():

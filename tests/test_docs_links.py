@@ -11,6 +11,11 @@ Two kinds of references are checked:
   (contains a ``/`` and a known extension, or starts with a known
   top-level directory) must exist, so renamed modules can't leave the
   docs silently pointing at nothing.
+
+Plus the reverse direction — CLI-flag drift: every ``repro``
+subcommand and every long option it exposes must be mentioned somewhere
+in the README or docs corpus, so a new flag cannot ship undocumented
+(fenced code counts: flags are usually shown in example invocations).
 """
 
 import os
@@ -90,4 +95,42 @@ def test_referenced_paths_exist(path):
             missing.append(ref)
     assert not missing, "%s: referenced paths missing %s" % (
         os.path.relpath(path, REPO_ROOT), missing
+    )
+
+
+# ---------------------------------------------------------------------
+# CLI-flag drift guard
+# ---------------------------------------------------------------------
+def _docs_corpus():
+    """README + docs text, fenced code included (example invocations are
+    exactly where flags get documented)."""
+    return "\n".join(open(path).read() for path in _markdown_files())
+
+
+def test_every_subcommand_is_documented():
+    from repro.__main__ import build_parser
+
+    corpus = _docs_corpus()
+    subparsers = build_parser()._subparsers._group_actions[0].choices
+    undocumented = [name for name in subparsers if name not in corpus]
+    assert not undocumented, (
+        "subcommands missing from README/docs: %s" % undocumented
+    )
+
+
+def test_every_cli_flag_is_documented():
+    from repro.__main__ import build_parser
+
+    corpus = _docs_corpus()
+    subparsers = build_parser()._subparsers._group_actions[0].choices
+    undocumented = set()
+    for name, sub in subparsers.items():
+        for action in sub._actions:
+            for option in action.option_strings:
+                if not option.startswith("--") or option == "--help":
+                    continue
+                if option not in corpus:
+                    undocumented.add("%s %s" % (name, option))
+    assert not undocumented, (
+        "flags missing from README/docs: %s" % sorted(undocumented)
     )
