@@ -39,9 +39,41 @@ class _EmitPolicy(SchedulePolicy):
         self.instructions = []
         self.round_of = {}
         self._current = None
+        # Store-lock pairing: each locked primary store opens an interrupt
+        # lock that its shadow store closes.  The dependence graph leaves
+        # the pair deliberately unordered (so both can pack into one
+        # instruction), which means placement must enforce the protocol:
+        # a shadow may not issue before its primary, and a second pair may
+        # not open while an earlier pair is still half-placed — otherwise
+        # the lone unlock of the first pair would expose the second pair's
+        # half-updated copies to an interrupt.
+        self._shadow_primary = {}
+        self._primary_shadow = {}
+        open_primary = {}
+        for i, op in enumerate(block.ops):
+            if op.is_store and op.locked:
+                if op.shadow:
+                    primary = open_primary.pop(id(op.symbol), None)
+                    if primary is not None:
+                        self._shadow_primary[i] = primary
+                        self._primary_shadow[primary] = i
+                else:
+                    open_primary[id(op.symbol)] = i
+        self._open_pairs = set()
 
     def begin_round(self):
         self._current = LongInstruction(self.block.label)
+
+    def _lock_ok(self, index):
+        primary = self._shadow_primary.get(index)
+        if primary is not None:
+            # Shadow: its primary must already be placed (this round or an
+            # earlier one — same-instruction pairs cancel and are safe).
+            return primary in self.round_of
+        if index in self._primary_shadow and self._open_pairs:
+            # Primary: no other pair may be mid-flight.
+            return False
+        return True
 
     def _memory_unit(self, op):
         if self.dual_ported:
@@ -73,6 +105,8 @@ class _EmitPolicy(SchedulePolicy):
 
     def try_place(self, index, op):
         if op.is_memory:
+            if not self._lock_ok(index):
+                return False
             unit, narrowed_bank = self._memory_unit(op)
             if unit is None:
                 return False
@@ -82,6 +116,10 @@ class _EmitPolicy(SchedulePolicy):
                 self.bank_pressure[op.bank] = self.bank_pressure.get(op.bank, 1) - 1
             self._current.add(unit, op)
             self.round_of[index] = len(self.instructions)
+            if index in self._primary_shadow:
+                self._open_pairs.add(index)
+            else:
+                self._open_pairs.discard(self._shadow_primary.get(index))
             return True
         for unit in units_for_class(op.unit):
             if self._current.unit_free(unit):

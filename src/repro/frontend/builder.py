@@ -26,6 +26,7 @@ from repro.frontend.expressions import (
 )
 from repro.ir.block import BasicBlock
 from repro.ir.function import Function
+from repro.ir.intern import BuildContext, activate, retire
 from repro.ir.module import Module
 from repro.ir.operations import OpCode, Operation
 from repro.ir.symbols import Storage, Symbol
@@ -65,6 +66,8 @@ def _data_type(py_type):
 class ArrayHandle:
     """A subscriptable handle over a global or local symbol."""
 
+    __slots__ = ("symbol",)
+
     def __init__(self, symbol):
         self.symbol = symbol
 
@@ -89,6 +92,8 @@ class ArrayHandle:
 class FunctionHandle:
     """A callable handle to a defined DSL function."""
 
+    __slots__ = ("name", "param_types", "return_type")
+
     def __init__(self, name, param_types, return_type):
         self.name = name
         self.param_types = param_types
@@ -104,11 +109,22 @@ class FunctionHandle:
 
 
 class ProgramBuilder:
-    """Top-level builder for a whole program (a :class:`Module`)."""
+    """Top-level builder for a whole program (a :class:`Module`).
+
+    Construction activates a :class:`~repro.ir.intern.BuildContext`:
+    every expression, immediate, and label built until ``build()`` is
+    hash-consed/interned through it, so structurally equal subtrees are
+    pointer-identical within this build (and only within it — the
+    context retires with the builder, which is what keeps two programs
+    from ever sharing nodes).
+    """
+
+    __slots__ = ("module", "_handles", "_context")
 
     def __init__(self, name):
         self.module = Module(name)
         self._handles = {}
+        self._context = activate(BuildContext())
 
     # ------------------------------------------------------------------
     # Global data
@@ -160,7 +176,16 @@ class ProgramBuilder:
         return self._handles[name]
 
     def build(self, validate=True):
-        """Finish the module, optionally running the IR validator."""
+        """Finish the module, optionally running the IR validator.
+
+        Retires the build context (idempotently) and records its node
+        statistics on ``module.node_stats`` for observability — the
+        compile pipeline forwards them to ``repro report``.
+        """
+        if self._context is not None:
+            self.module.node_stats = self._context.stats()
+            retire(self._context)
+            self._context = None
         if validate:
             validate_module(self.module)
         return self.module
@@ -168,6 +193,8 @@ class ProgramBuilder:
 
 class _LoopIds:
     """Per-function counter for hardware-loop identifiers."""
+
+    __slots__ = ("next",)
 
     def __init__(self):
         self.next = 0
@@ -190,6 +217,9 @@ class _LoopContext:
     load pairs the allocation pass exists to parallelize).
     """
 
+    __slots__ = ("index_register", "preheader", "step", "inductions",
+                 "latch_increments", "written", "guarded")
+
     def __init__(self, index_register, preheader, step):
         self.index_register = index_register
         self.preheader = preheader
@@ -207,6 +237,11 @@ class _LoopContext:
 
 class FunctionBuilder:
     """Builds one function's blocks, registers, and locals."""
+
+    __slots__ = ("program", "function", "return_type", "handle", "_lowerer",
+                 "_depth", "_label_counter", "_const_cache", "_const_ops",
+                 "_loop_ids", "_pending_else", "_finalized", "_open_loops",
+                 "_block")
 
     def __init__(self, program, function, return_type):
         self.program = program

@@ -21,6 +21,8 @@ class BasicBlock:
         loop so the compaction pass can mark the loop's last instruction.
     """
 
+    __slots__ = ("label", "ops", "loop_depth", "hw_loop", "profile_count")
+
     def __init__(self, label, loop_depth=0):
         self.label = label
         self.ops = []

@@ -1,0 +1,131 @@
+"""Per-build interning and hash-consing of IR and frontend nodes.
+
+A :class:`BuildContext` owns the tables that make structurally equal
+nodes pointer-identical while one program is being built:
+
+* the **cons table** maps a structural key — node class plus the
+  identities of already-consed children — to the unique node carrying
+  that structure, so ``a[i] + a[i]`` builds one ``BinOp`` whose two
+  children are the same object;
+* the **immediate table** interns :class:`~repro.ir.values.Immediate`
+  operands by ``(value, data_type)``;
+* the **label table** interns :class:`~repro.ir.values.Label` branch
+  targets by name.
+
+Keys never contain the nodes themselves (DSL expressions overload
+``__eq__`` into :class:`~repro.frontend.expressions.Compare` and are
+deliberately unhashable); children are keyed by ``id()``, which is
+sound because every entry's node keeps its children alive for the life
+of the table.
+
+Contexts are scoped, not global: :class:`~repro.frontend.builder.
+ProgramBuilder` activates one on construction and retires it in
+``build()``, so two builds can never alias nodes (no cross-build
+leakage) and node construction outside any builder — the compiler
+passes, the simulators — is plain and unshared.  The active-context
+stack is thread-local and holds weak references, so an abandoned
+builder cannot pin its tables in memory.
+
+Sharing is only sound because built nodes are immutable: rewriting code
+(the lowerer, the trip-count folder) reconstructs expressions instead
+of mutating them, and the property suite in
+``tests/frontend/test_hash_consing.py`` holds that line.
+"""
+
+import threading
+import weakref
+
+
+class BuildContext:
+    """Cons/intern tables plus per-class statistics for one build."""
+
+    __slots__ = ("cons", "immediates", "labels", "created", "hits",
+                 "__weakref__")
+
+    def __init__(self):
+        self.cons = {}
+        self.immediates = {}
+        self.labels = {}
+        #: nodes actually constructed, per class name
+        self.created = {}
+        #: constructions answered from a table instead, per class name
+        self.hits = {}
+
+    # -- statistics ----------------------------------------------------
+    def count_created(self, cls):
+        name = cls.__name__
+        self.created[name] = self.created.get(name, 0) + 1
+
+    def count_hit(self, cls):
+        name = cls.__name__
+        self.hits[name] = self.hits.get(name, 0) + 1
+
+    def stats(self):
+        """JSON-able snapshot: counts, hit rates, and table sizes."""
+        created = sum(self.created.values())
+        hits = sum(self.hits.values())
+        attempts = created + hits
+        return {
+            "created": dict(sorted(self.created.items())),
+            "hits": dict(sorted(self.hits.items())),
+            "nodes_created": created,
+            "cons_hits": hits,
+            "cons_hit_rate": round(hits / attempts, 4) if attempts else 0.0,
+            "cons_entries": len(self.cons),
+            "immediate_entries": len(self.immediates),
+            "label_entries": len(self.labels),
+        }
+
+
+_LOCAL = threading.local()
+
+
+def _stack():
+    stack = getattr(_LOCAL, "stack", None)
+    if stack is None:
+        stack = _LOCAL.stack = []
+    return stack
+
+
+def current_context():
+    """The innermost live :class:`BuildContext`, or None."""
+    stack = _stack()
+    while stack:
+        context = stack[-1]()
+        if context is not None:
+            return context
+        stack.pop()
+    return None
+
+
+def activate(context):
+    """Push *context*; nodes built from here on intern through it."""
+    _stack().append(weakref.ref(context))
+    return context
+
+
+def retire(context):
+    """Remove *context* from the stack (wherever it sits)."""
+    stack = _stack()
+    for position in range(len(stack) - 1, -1, -1):
+        if stack[position]() is context:
+            del stack[position]
+            return
+
+
+def cons(cls, key, factory):
+    """The unique node of *cls* for structural *key* in the active
+    context, constructing via *factory* on first sight.  With no active
+    context the factory result is returned unshared."""
+    context = current_context()
+    if context is None:
+        return factory()
+    table = context.cons
+    node = table.get(key)
+    if node is not None:
+        context.count_hit(cls)
+        return node
+    node = factory()
+    table[key] = node
+    context.count_created(cls)
+    return node

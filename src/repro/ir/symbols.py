@@ -8,6 +8,7 @@ banks (``MemoryBank.BOTH``).
 """
 
 import enum
+import sys
 
 from repro.ir.types import DataType
 
@@ -99,7 +100,11 @@ class Symbol:
                 "initializer for %r has %d elements but size is %d"
                 % (name, len(initializer), size)
             )
-        self.name = name
+        # Symbol names key interference graphs, partitions, and caches
+        # all over the compiler; interning makes those string compares
+        # pointer checks.  The Symbol itself stays mutable (bank and
+        # duplicated are assigned by allocation) and is never consed.
+        self.name = sys.intern(name) if type(name) is str else name
         self.data_type = data_type
         self.size = size
         self.storage = storage
@@ -140,6 +145,8 @@ class Symbol:
 
 class SymbolTable:
     """Ordered collection of symbols with unique names."""
+
+    __slots__ = ("_symbols",)
 
     def __init__(self):
         self._symbols = {}

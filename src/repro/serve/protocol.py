@@ -16,6 +16,11 @@ Job schema (``kind`` selects the payload)::
      "strategy": "CB", ...}
     {"kind": "stats"}
 
+Any job may carry an optional ``tenant`` string.  Tenants get their
+own generator-seed namespace (:func:`tenant_seed` salts ``recipe``
+specs of the ``{"seed": N}`` form) and per-tenant accounting in the
+service counters (``serve.tenant.<name>``).
+
 Error taxonomy — the ``category`` field of ``error`` events maps
 one-to-one from :mod:`repro.sim.errors`:
 
@@ -31,6 +36,7 @@ job was well-formed but the bounded queue is full — resubmit later.
 See ``docs/serving.md`` for the full schema and worked transcripts.
 """
 
+import hashlib
 import json
 
 from repro.partition.registry import PARTITIONERS
@@ -83,6 +89,21 @@ def _require_name(job, field, table, label):
     return value
 
 
+def tenant_seed(tenant, seed):
+    """Deterministically namespace a generator *seed* for *tenant*.
+
+    Two tenants submitting the same generator spec must not land in one
+    seed space (a tenant could otherwise predict — or poison warm cache
+    entries for — another's programs), so the effective seed is drawn
+    from SHA-256 over ``tenant:seed``.  Same tenant, same seed, same
+    program, forever; the mapping is stable across processes.
+    """
+    digest = hashlib.sha256(
+        ("%s:%d" % (tenant, int(seed))).encode()
+    ).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
 def validate_job(obj):
     """Validate and normalize one job submission.
 
@@ -130,6 +151,20 @@ def validate_job(obj):
         if not isinstance(recipe, dict):
             raise JobError("recipe jobs need a recipe dict", field="recipe")
         job["recipe"] = recipe
+    tenant = obj.get("tenant")
+    if tenant is not None:
+        if not isinstance(tenant, str) or not tenant:
+            raise JobError(
+                "tenant must be a non-empty string", field="tenant"
+            )
+        job["tenant"] = tenant
+        recipe = job.get("recipe")
+        if recipe is not None and "body" not in recipe and "seed" in recipe:
+            # generator specs draw from a per-tenant seed space; full
+            # recipe bodies are the tenant's own program and pass through
+            job["recipe"] = dict(
+                recipe, seed=tenant_seed(tenant, recipe["seed"])
+            )
     return job
 
 

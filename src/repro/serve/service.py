@@ -40,22 +40,37 @@ served to clients via the ``stats`` request.  See ``docs/serving.md``.
 import asyncio
 import json
 
-from repro.obs.core import Recorder
+from repro.obs.core import NULL_RECORDER, Recorder
 from repro.serve import protocol
-from repro.serve.jobs import execute_group, job_compile_key
+from repro.serve.jobs import execute_group, job_compile_key, lighten_group
 
 
-def _execute_groups(groups, cache_dir, workers, lanes, timeout, retries):
+def _execute_groups(groups, cache_dir, workers, lanes, timeout, retries,
+                    observe=NULL_RECORDER):
     """Blocking leg of one dispatch round (runs in the executor thread):
-    every group through one :func:`supervised_map` call."""
-    from repro.evaluation.parallel import supervised_map
+    every group through one :func:`supervised_map` call.
 
+    Groups are lightened first (:func:`~repro.serve.jobs.lighten_group`):
+    members past the head drop their compile fields and, when a store
+    is configured, inline recipe bodies are swapped for content-address
+    refs — so the per-task pipe payload carries hashes, not duplicated
+    program sources.  Per-task pickled bytes land on *observe* as
+    ``supervised.payload_bytes``.
+    """
+    from repro.evaluation.parallel import supervised_map
+    from repro.serve.store import process_compile_cache
+
+    store = process_compile_cache(cache_dir).store if cache_dir else None
     return supervised_map(
         execute_group,
-        [(group, cache_dir, lanes) for group in groups],
+        [
+            (lighten_group(group, store=store), cache_dir, lanes)
+            for group in groups
+        ],
         jobs=workers,
         timeout=timeout,
         retries=retries,
+        observe=observe,
     )
 
 
@@ -169,6 +184,8 @@ class SimService:
             })
             return
         self.observe.counter("serve.accepted")
+        if "tenant" in job:
+            self.observe.counter("serve.tenant.%s" % job["tenant"])
         await self._send(writer, {"event": "accepted", "id": job["id"]})
 
     async def _send(self, writer, event):
@@ -221,6 +238,7 @@ class SimService:
                     self.lanes,
                     self.timeout,
                     self.retries,
+                    self.observe,
                 )
             except asyncio.CancelledError:
                 raise

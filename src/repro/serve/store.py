@@ -39,8 +39,9 @@ import tempfile
 from repro.obs.core import NULL_RECORDER
 
 #: bump when the entry format or pickled object layout changes — old
-#: entries then miss instead of unpickling garbage
-FORMAT_VERSION = 1
+#: entries then miss instead of unpickling garbage (2: BasicBlock grew
+#: __slots__, changing the pickled state shape of compiled programs)
+FORMAT_VERSION = 2
 
 #: default byte cap for a store (512 MiB — thousands of compiled
 #: programs at the ~5 KiB each the registry workloads pickle to)
@@ -208,6 +209,28 @@ class ArtifactStore:
         self.observe.counter("store.put")
         self.evict()
         return path
+
+    # -- blobs ---------------------------------------------------------
+    def put_blob(self, obj):
+        """Store a JSON-able object content-addressed by its own
+        canonical digest; returns the digest.
+
+        Blobs carry the payloads the serve dispatcher strips out of
+        worker task tuples (fuzz recipe dicts, today): the dispatcher
+        ships the digest, the worker rehydrates with :meth:`get_blob`
+        through its per-process store handle.  Writing is idempotent —
+        an existing entry is left untouched.
+        """
+        digest = hashlib.sha256(canonical_key(obj).encode()).hexdigest()
+        key = {"blob": digest}
+        if not os.path.exists(self.path_for(key)):
+            self.put(key, obj)
+        return digest
+
+    def get_blob(self, digest):
+        """The blob stored under *digest*, or None on miss/corruption
+        (same verify-on-read contract as :meth:`get`)."""
+        return self.get({"blob": digest})
 
     # -- maintenance ---------------------------------------------------
     def entries(self):

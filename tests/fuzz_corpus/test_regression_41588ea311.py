@@ -1,0 +1,14 @@
+"""Auto-generated fuzz regression (shrunk from generate_recipe(761, max_statements=5); interrupt window between a primary dup-store and its shadow).
+
+Replays a shrunk recipe through the full differential oracle; see
+docs/internals.md ("The differential fuzzer") for the corpus workflow.
+"""
+
+from repro.fuzz.generator import Recipe
+from repro.fuzz.oracle import check_recipe
+
+RECIPE_JSON = '{"arrays": [10, 12], "body": [["store", 1, 0, 0], ["call", 0, 0], ["autocorr", 0, 0, 0]], "helpers": [[["store", 0, 0, 0], ["dot", 1, 0, 0]]], "interrupt_period": 7, "seed": 761, "version": 1}'
+
+
+def test_fuzz_regression_41588ea311():
+    check_recipe(Recipe.from_json(RECIPE_JSON))

@@ -1,0 +1,92 @@
+"""Hash-first dispatch: lightened groups ship content refs and
+per-instance fields instead of duplicated recipe payloads, rehydrate
+through the artifact store, and stay bit-identical to executing the
+original fat group."""
+
+import json
+import pickle
+
+from repro.fuzz.generator import generate_recipe
+from repro.serve.jobs import (
+    _MEMBER_FIELDS,
+    execute_group,
+    job_compile_key,
+    lighten_group,
+)
+from repro.serve.protocol import validate_job
+from repro.serve.store import ArtifactStore, process_compile_cache
+
+
+def _recipe_group(count=3, seed=5):
+    recipe = generate_recipe(seed).to_dict()
+    jobs = [
+        validate_job({
+            "kind": "recipe",
+            # deep copy: real submissions decode from separate JSON
+            # lines, so nothing is object-shared across jobs
+            "recipe": json.loads(json.dumps(recipe)),
+            "strategy": "CB",
+            "id": "job-%d" % index,
+            "writes": {},
+        })
+        for index in range(count)
+    ]
+    assert len({job_compile_key(job) for job in jobs}) == 1
+    return jobs
+
+
+def test_members_keep_only_per_instance_fields(tmp_path):
+    jobs = _recipe_group()
+    store = ArtifactStore(tmp_path)
+    light = lighten_group(jobs, store=store)
+    assert len(light) == len(jobs)
+    # the head traded its recipe body for a content ref
+    assert set(light[0]["recipe"]) == {"ref"}
+    assert store.get_blob(light[0]["recipe"]["ref"]) == jobs[0]["recipe"]
+    # members carry nothing compile-relevant
+    for member, original in zip(light[1:], jobs[1:]):
+        assert set(member) <= set(_MEMBER_FIELDS)
+        assert member["id"] == original["id"]
+    # the originals are untouched (the service still owns them)
+    assert all("body" in job["recipe"] for job in jobs)
+
+
+def test_lightened_payload_is_smaller():
+    jobs = _recipe_group()
+    light = lighten_group(jobs)  # member stripping alone, no store
+    assert len(pickle.dumps(light)) < len(pickle.dumps(jobs)) / 2
+    assert "body" in light[0]["recipe"]  # no store: head stays inline
+
+
+def test_generator_specs_stay_inline(tmp_path):
+    job = validate_job({
+        "kind": "recipe", "recipe": {"seed": 9}, "strategy": "CB",
+    })
+    light = lighten_group([job], store=ArtifactStore(tmp_path))
+    assert light[0]["recipe"] == {"seed": 9}
+
+
+def test_lightened_group_bit_identical_to_fat_group(tmp_path):
+    jobs = _recipe_group()
+    cache_dir = str(tmp_path / "cache")
+    fat = execute_group([dict(job) for job in jobs], cache_dir=cache_dir)
+    store = process_compile_cache(cache_dir).store
+    light = lighten_group(jobs, store=store)
+    thin = execute_group(light, cache_dir=cache_dir)
+    assert [r["id"] for r in thin] == [r["id"] for r in fat]
+    for thin_result, fat_result in zip(thin, fat):
+        assert thin_result["ok"] and fat_result["ok"]
+        assert thin_result["digest"] == fat_result["digest"]
+        assert thin_result["cycles"] == fat_result["cycles"]
+        assert thin_result["outputs"] == fat_result["outputs"]
+
+
+def test_missing_blob_faults_the_group_not_the_process(tmp_path):
+    jobs = _recipe_group(count=2)
+    light = lighten_group(jobs)
+    light[0]["recipe"] = {"ref": "0" * 64}  # dangling content ref
+    results = execute_group(light, cache_dir=str(tmp_path / "cache"))
+    assert len(results) == 2
+    for result in results:
+        assert result["ok"] is False
+        assert "blob" in result["fault"]["message"]

@@ -14,6 +14,7 @@ from repro.evaluation.runner import _compile_cached, module_fingerprint
 from repro.obs.core import Recorder
 from repro.partition.strategies import Strategy
 from repro.serve.store import (
+    FORMAT_VERSION,
     ArtifactStore,
     CompileCache,
     compile_key,
@@ -103,7 +104,8 @@ def test_format_version_mismatch_reads_as_miss(tmp_path):
 
     def bump_format(data):
         header, _, payload = data.partition(b"\n")
-        return header.replace(b'"format": 1', b'"format": 999') + b"\n" + payload
+        current = ('"format": %d' % FORMAT_VERSION).encode()
+        return header.replace(current, b'"format": 999') + b"\n" + payload
 
     _corrupt(path, bump_format)
     assert store.get(_key()) is None

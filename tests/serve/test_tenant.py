@@ -1,0 +1,101 @@
+"""Per-tenant seed namespacing: generator-spec seeds are salted per
+tenant (deterministically, stably), full recipe bodies pass through,
+and tenants show up in the service counters."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.client import ServeClient
+from repro.serve.jobs import job_compile_key
+from repro.serve.protocol import JobError, tenant_seed, validate_job
+from repro.serve.service import SimService
+
+
+def _spec_job(tenant=None, seed=5):
+    job = {"kind": "recipe", "recipe": {"seed": seed}, "strategy": "CB"}
+    if tenant is not None:
+        job["tenant"] = tenant
+    return job
+
+
+def test_tenant_salts_generator_seeds_deterministically():
+    plain = validate_job(_spec_job())
+    alpha = validate_job(_spec_job(tenant="alpha"))
+    beta = validate_job(_spec_job(tenant="beta"))
+    assert plain["recipe"]["seed"] == 5  # no tenant, no salting
+    assert alpha["tenant"] == "alpha"
+    assert alpha["recipe"]["seed"] == tenant_seed("alpha", 5)
+    # namespaces are disjoint and stable
+    assert alpha["recipe"]["seed"] != beta["recipe"]["seed"]
+    assert alpha["recipe"]["seed"] != plain["recipe"]["seed"]
+    assert validate_job(_spec_job(tenant="alpha")) == alpha
+    # different seeds stay different within one tenant
+    assert (
+        validate_job(_spec_job(tenant="alpha", seed=6))["recipe"]["seed"]
+        != alpha["recipe"]["seed"]
+    )
+
+
+def test_tenants_never_coalesce_on_generator_specs():
+    keys = {
+        job_compile_key(validate_job(_spec_job(tenant=tenant)))
+        for tenant in ("alpha", "beta", "gamma")
+    }
+    keys.add(job_compile_key(validate_job(_spec_job())))
+    assert len(keys) == 4
+
+
+def test_full_recipe_bodies_pass_through_unsalted():
+    from repro.fuzz.generator import generate_recipe
+
+    recipe = generate_recipe(5).to_dict()
+    job = validate_job({
+        "kind": "recipe", "recipe": dict(recipe), "tenant": "alpha",
+    })
+    assert job["recipe"] == recipe
+
+
+def test_run_jobs_carry_tenant_without_recipe_effects():
+    job = validate_job({
+        "kind": "run", "workload": "fir_32_1", "tenant": "alpha",
+    })
+    assert job["tenant"] == "alpha"
+    assert "recipe" not in job
+
+
+@pytest.mark.parametrize("bad", ["", 7, ["a"]])
+def test_bad_tenant_is_a_protocol_error(bad):
+    with pytest.raises(JobError) as info:
+        validate_job(_spec_job(tenant=bad))
+    assert info.value.field == "tenant"
+
+
+def test_service_counts_per_tenant():
+    jobs = [
+        {"kind": "run", "workload": "fir_32_1", "tenant": "alpha"},
+        {"kind": "run", "workload": "fir_32_1", "tenant": "alpha"},
+        {"kind": "run", "workload": "fir_32_1", "tenant": "beta"},
+        {"kind": "run", "workload": "fir_32_1"},
+    ]
+
+    def body(host, port):
+        with ServeClient(host, port) as client:
+            events = client.run_jobs(jobs)
+            counters = client.stats()
+        return events, counters
+
+    async def main():
+        service = SimService()
+        host, port = await service.start()
+        loop = asyncio.get_event_loop()
+        try:
+            return await loop.run_in_executor(None, body, host, port)
+        finally:
+            await service.stop()
+
+    events, counters = asyncio.run(main())
+    assert all(event["event"] == "result" for event in events)
+    assert counters["serve.tenant.alpha"] == 2
+    assert counters["serve.tenant.beta"] == 1
+    assert counters["serve.accepted"] == 4
