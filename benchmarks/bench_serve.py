@@ -1,6 +1,6 @@
 """Serving-layer benchmark: emits ``BENCH_serve.json``.
 
-Two sections:
+Three sections:
 
 * **store** — the persistent artifact store's reason to exist: the same
   compile sweep (every benchmark workload under SINGLE_BANK/CB/CB_DUP)
@@ -16,6 +16,10 @@ Two sections:
   rest on: zero rejected submissions at the default queue limit and
   every result **bit-identical** (state digest) to a direct
   :func:`~repro.serve.jobs.execute_job` run of the same job.
+* **service_journaled** — the same load with the write-ahead journal
+  enabled (crash-safe serving), gated: journaling may cost at most 10%
+  of sustained req/s (``journal_throughput_ratio`` ≥ 0.9), and every
+  accepted job must have a completed journal record afterwards.
 
 The pytest entry point doubles as the regression gate: machine-neutral
 claims (``warm_speedup``, bit-identity, zero rejections) are asserted
@@ -61,6 +65,9 @@ WARM_SPEEDUP_GATE = 3.0
 
 #: allowed relative drop of warm_speedup against the committed baseline
 REGRESSION_TOLERANCE = 0.25
+
+#: write-ahead journaling may cost at most 10% of sustained req/s
+JOURNAL_THROUGHPUT_GATE = 0.9
 
 
 # ---------------------------------------------------------------------
@@ -137,13 +144,18 @@ def _percentile(sorted_values, fraction):
     return sorted_values[index]
 
 
-def bench_service(root):
+def bench_service(root, journal=False):
     jobs = _job_mix()
-    serve_dir = str(Path(root) / "serve-cache")
+    leg = "journaled" if journal else "plain"
+    serve_dir = str(Path(root) / ("serve-cache-%s" % leg))
+    journal_path = str(Path(root) / ("journal-%s.jsonl" % leg))
     direct_dir = str(Path(root) / "direct-cache")
 
     async def run_load():
-        service = SimService(cache_dir=serve_dir)
+        service = SimService(
+            cache_dir=serve_dir,
+            journal=journal_path if journal else None,
+        )
         host, port = await service.start()
         loop = asyncio.get_event_loop()
 
@@ -173,7 +185,19 @@ def bench_service(root):
                 or event["cycles"] != reference["cycles"]):
             bit_identical = False
     latencies = sorted(e["latency_s"] for e in events)
+    journaled_terminals = None
+    if journal:
+        # the durability contract the throughput ratio is priced
+        # against: every accepted job has a completed journal record
+        from repro.evaluation.parallel import Journal
+
+        log = Journal(journal_path)
+        journaled_terminals = len(log.completed)
+        log.close()
+        assert journaled_terminals == len(jobs) - rejected
     return {
+        "journal": journal,
+        "journaled_terminals": journaled_terminals,
         "jobs": len(jobs),
         "rejected": rejected,
         "errors": errors,
@@ -193,12 +217,19 @@ def bench_service(root):
 def collect():
     root = tempfile.mkdtemp(prefix="bench-serve-")
     try:
-        return {
+        report = {
             "store": bench_store(root),
             "service": bench_service(root),
+            "service_journaled": bench_service(root, journal=True),
         }
     finally:
         shutil.rmtree(root, ignore_errors=True)
+    report["journal_throughput_ratio"] = round(
+        report["service_journaled"]["req_per_s"]
+        / report["service"]["req_per_s"],
+        3,
+    )
+    return report
 
 
 def assert_no_regression(baseline, report, tolerance=REGRESSION_TOLERANCE):
@@ -236,6 +267,11 @@ def test_serve_trajectory():
     assert report["service"]["bit_identical"]
     assert report["service"]["coalesced"] > 0
     assert report["service"]["req_per_s"] > 0
+    # durability is near-free: the write-ahead journal may cost at most
+    # 10% of sustained throughput (both legs run cold caches)
+    assert report["service_journaled"]["bit_identical"]
+    assert report["service_journaled"]["errors"] == 0
+    assert report["journal_throughput_ratio"] >= JOURNAL_THROUGHPUT_GATE
     if baseline is not None:
         assert_no_regression(baseline, report)
 

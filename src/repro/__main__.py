@@ -33,11 +33,20 @@ partition-gap [--workload W ...] [--backend B] [--jobs J] [--json PATH]
     Gap-to-optimal evaluation: every registry workload partitioned by
     every registered partitioner, reporting final interference cost,
     the greedy-vs-exact cost ratio, and the realized cycles/PCR.
-serve [--host H] [--port P] [--workers N] [--cache-dir DIR] ...
+serve [--host H] [--port P] [--workers N] [--cache-dir DIR]
+      [--journal PATH] [--scrub-cache] ...
     Async compile-and-simulate service: JSON job submissions over a
     socket, bounded-queue admission control, compatible jobs coalesced
     onto the lockstep batch backend, results streamed back (see
-    docs/serving.md for the protocol).
+    docs/serving.md for the protocol).  With --journal the service is
+    crash-safe: accepted jobs are write-ahead logged, restarts recover
+    unfinished work, and resubmissions deduplicate; per-compile-key
+    circuit breakers and deadline propagation ride along.
+chaos [--seed S] [--cycles N] [--jobs-per-cycle K] [--budget SEC] ...
+    Deterministic chaos campaign against a live serve subprocess:
+    seeded kill/restart cycles, artifact-store sabotage, oversized and
+    stalled submissions — asserting no accepted job is lost, no job
+    runs twice, and replays stay bit-identical (docs/serving.md).
 
 Every command that compiles under a CB-family strategy accepts
 ``--partitioner`` (greedy | exact | anneal | kl) selecting the
@@ -394,7 +403,44 @@ def cmd_serve(args):
         lanes=args.lanes,
         timeout=args.timeout,
         retries=args.retries,
+        journal=args.journal,
+        dedup_window=args.dedup_window,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+        scrub_cache=args.scrub_cache,
     )
+
+
+def cmd_chaos(args):
+    import json
+    import tempfile
+
+    from repro.chaos import ChaosPlan, generate_plan, render_chaos, run_chaos
+
+    if args.plan:
+        with open(args.plan) as handle:
+            plan = ChaosPlan.from_json(handle.read())
+    else:
+        plan = generate_plan(
+            args.seed, cycles=args.cycles, jobs_per_cycle=args.jobs_per_cycle
+        )
+    work_dir = args.work_dir or tempfile.mkdtemp(prefix="repro-chaos-")
+    report = run_chaos(
+        plan,
+        work_dir,
+        workers=args.workers,
+        recovery_budget_s=args.budget,
+        log=print,
+    )
+    print(render_chaos(report))
+    if args.json:
+        document = json.dumps(report, indent=2, sort_keys=True)
+        if args.json == "-":
+            print(document)
+        else:
+            with open(args.json, "w") as handle:
+                handle.write(document + "\n")
+    return 0 if report["ok"] else 1
 
 
 def cmd_partition_gap(args):
@@ -702,8 +748,79 @@ def build_parser():
         help="retry budget per group for timeouts and worker deaths "
         "(default 2)",
     )
+    serve.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="write-ahead job log: accepted jobs are journaled before "
+        "they are acknowledged, terminals on completion; a restart "
+        "re-executes unfinished jobs and replays completed ones on "
+        "resubmission (idempotency keyed on id + payload)",
+    )
+    serve.add_argument(
+        "--dedup-window", type=nonnegative_int, default=1024, metavar="N",
+        help="completed terminals kept in memory for idempotent "
+        "resubmission replay (default 1024)",
+    )
+    serve.add_argument(
+        "--breaker-threshold", type=nonnegative_int, default=3, metavar="N",
+        help="consecutive compile failures per compile key that open "
+        "its circuit breaker; 0 disables the breaker (default 3)",
+    )
+    serve.add_argument(
+        "--breaker-cooldown", type=float, default=5.0, metavar="SEC",
+        help="base seconds an open breaker fails fast before admitting "
+        "a half-open probe (jittered per key; default 5.0)",
+    )
+    serve.add_argument(
+        "--scrub-cache", action="store_true",
+        help="verify every artifact-store entry before serving, "
+        "purging corrupt objects up front instead of at first read",
+    )
     add_cache_dir(serve)
     serve.set_defaults(func=cmd_serve)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="chaos campaign against a live serve process: seeded "
+        "kill/restart cycles, store sabotage, and protocol abuse, "
+        "with crash-safety invariants checked",
+    )
+    chaos.add_argument(
+        "--seed", type=int, default=0, metavar="S",
+        help="chaos plan seed (default 0); same seed, same campaign",
+    )
+    chaos.add_argument(
+        "--cycles", type=nonnegative_int, default=3, metavar="N",
+        help="kill/restart cycles to run (default 3)",
+    )
+    chaos.add_argument(
+        "--jobs-per-cycle", type=nonnegative_int, default=4, metavar="K",
+        help="fresh job submissions per cycle (default 4)",
+    )
+    chaos.add_argument(
+        "--workers", type=nonnegative_int, default=None, metavar="N",
+        help="run the service under test with N supervised workers "
+        "(enables worker-kill events; default: serial)",
+    )
+    chaos.add_argument(
+        "--budget", type=float, default=30.0, metavar="SEC",
+        help="recovery budget: worst restart-to-full-recovery time "
+        "allowed before the campaign fails (default 30.0)",
+    )
+    chaos.add_argument(
+        "--plan", default=None, metavar="PATH",
+        help="replay a serialized chaos plan from PATH instead of "
+        "generating one from --seed",
+    )
+    chaos.add_argument(
+        "--work-dir", default=None, metavar="DIR",
+        help="directory for the journal and caches (default: a fresh "
+        "temporary directory)",
+    )
+    chaos.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the JSON report to PATH ('-' for stdout)",
+    )
+    chaos.set_defaults(func=cmd_chaos)
     return parser
 
 

@@ -159,6 +159,52 @@ class WorkerDied(TaskError):
     and the retry budget ran out."""
 
 
+class TaskFailure:
+    """Terminal failure of one supervised task, returned **in-slot**.
+
+    With ``supervised_map(..., on_error="return")`` a task that
+    exhausts its budget no longer aborts the whole map: its result slot
+    holds one of these instead, and every other task's result survives.
+    ``kind`` is the failure class (``TaskTimeout``, ``WorkerDied``, or
+    the original exception type), ``attempts`` how many tries were
+    spent, ``task_key`` the journal key of the failing task, and
+    ``category`` the :mod:`repro.sim.errors` taxonomy when the failure
+    came from the simulator (None otherwise).  Failures are *not*
+    recorded in the journal as completed, so a resumed run retries
+    them.
+    """
+
+    __slots__ = ("kind", "message", "category", "attempts", "task_key",
+                 "remote_traceback")
+
+    def __init__(self, kind, message, attempts=1, task_key=None,
+                 category=None, remote_traceback=None):
+        self.kind = kind
+        self.message = message
+        self.attempts = attempts
+        self.task_key = task_key
+        self.category = category
+        self.remote_traceback = remote_traceback
+
+    def describe(self):
+        """JSON-able dict form (the :func:`repro.sim.errors.describe_fault`
+        shape, plus ``attempts``)."""
+        description = {
+            "kind": self.kind,
+            "message": self.message,
+            "category": self.category,
+            "attempts": self.attempts,
+        }
+        if self.task_key is not None:
+            description["task_key"] = self.task_key
+        return description
+
+    def __repr__(self):
+        return "<TaskFailure %s after %d attempt(s): %s>" % (
+            self.kind, self.attempts, self.message,
+        )
+
+
 def _raise_remote(description, task_key=None, attempts=1):
     """Re-raise a worker failure described by
     :func:`repro.sim.errors.describe_fault` as a clean parent-side
@@ -516,7 +562,8 @@ def _pop_eligible(queue, now):
 
 
 def _run_serial(fn, arguments, pending, results, retries, backoff,
-                retry_errors, journal, emit, observe, initial=None):
+                retry_errors, journal, emit, observe, initial=None,
+                on_error="raise"):
     """Serial leg of :func:`supervised_map`: same retry and journal
     semantics, no timeouts (nothing to terminate in-process).
 
@@ -525,6 +572,7 @@ def _run_serial(fn, arguments, pending, results, retries, backoff,
     initial = initial or {}
     for index in pending:
         attempt = initial.get(index, 1)
+        failure = None
         while True:
             if journal is not None:
                 journal.mark_started(Journal.key_for(arguments[index]), attempt)
@@ -532,7 +580,7 @@ def _run_serial(fn, arguments, pending, results, retries, backoff,
                 result = fn(*arguments[index])
             except KeyboardInterrupt:
                 raise
-            except Exception:
+            except Exception as exc:
                 if retry_errors and attempt <= retries:
                     delay = backoff * (2 ** (attempt - 1))
                     observe.counter("supervised.retries")
@@ -543,20 +591,39 @@ def _run_serial(fn, arguments, pending, results, retries, backoff,
                     time.sleep(delay)
                     attempt += 1
                     continue
+                if on_error == "return":
+                    description = describe_fault(exc)
+                    failure = TaskFailure(
+                        kind=description.get("kind", type(exc).__name__),
+                        message=description.get("message", str(exc)),
+                        attempts=attempt,
+                        task_key=Journal.key_for(arguments[index]),
+                        category=description.get("category"),
+                        remote_traceback=description.get("traceback"),
+                    )
+                    observe.counter("supervised.failed")
+                    break
                 raise
             break
+        if failure is not None:
+            # terminal failures stay out of the journal: a resumed run
+            # should retry them, not replay them as completed
+            results[index] = failure
+            continue
         results[index] = result
         if journal is not None:
             journal.record(Journal.key_for(arguments[index]), result)
 
 
-def _run_supervised_pool(fn, arguments, pending, results, jobs, timeout,
+def _run_supervised_pool(fn, arguments, pending, results, jobs, timeouts,
                          retries, backoff, retry_errors, degrade_after,
-                         journal, emit, observe, initial=None):
+                         journal, emit, observe, initial=None,
+                         on_error="raise"):
     """Pool leg of :func:`supervised_map` (see its docstring for the
     contract).  Own Process/Pipe supervisor rather than an executor:
     per-task deadlines require terminating individual workers, which
-    :class:`ProcessPoolExecutor` cannot do."""
+    :class:`ProcessPoolExecutor` cannot do.  ``timeouts`` is a per-task
+    list (entries may be None for "no deadline")."""
     import multiprocessing
 
     context = multiprocessing.get_context()
@@ -601,10 +668,19 @@ def _run_supervised_pool(fn, arguments, pending, results, jobs, timeout,
         if journal is not None:
             journal.record(Journal.key_for(arguments[index]), result)
 
-    def fail_task(index, attempt, error_cls, reason, description=None):
+    def record_failure(index, failure):
+        # terminal failure returned in-slot (on_error="return"); *not*
+        # journaled as completed, so a resumed run retries the task
+        nonlocal remaining
+        results[index] = failure
+        remaining -= 1
+        observe.counter("supervised.failed")
+
+    def fail_task(index, attempt, error_cls, reason, description=None,
+                  allow_retry=True):
         nonlocal consecutive_failures
         consecutive_failures += 1
-        if attempt <= retries:
+        if allow_retry and attempt <= retries:
             delay = backoff * (2 ** (attempt - 1))
             observe.counter("supervised.retries")
             emit(
@@ -612,6 +688,26 @@ def _run_supervised_pool(fn, arguments, pending, results, jobs, timeout,
                 % (index, reason, attempt, retries, delay)
             )
             queue.append((index, attempt + 1, time.monotonic() + delay))
+            return
+        if on_error == "return":
+            kind = error_cls.__name__
+            message = "task %d %s after %d attempt(s)" % (
+                index, reason, attempt,
+            )
+            category = remote_traceback = None
+            if description is not None:
+                kind = description.get("kind", kind)
+                message = description.get("message", message)
+                category = description.get("category")
+                remote_traceback = description.get("traceback")
+            record_failure(index, TaskFailure(
+                kind=kind,
+                message=message,
+                attempts=attempt,
+                task_key=Journal.key_for(arguments[index]),
+                category=category,
+                remote_traceback=remote_traceback,
+            ))
             return
         if description is not None and description.get("category") is not None:
             _raise_remote(
@@ -655,7 +751,7 @@ def _run_supervised_pool(fn, arguments, pending, results, jobs, timeout,
                 _run_serial(
                     fn, arguments, serial_pending, results, retries, backoff,
                     retry_errors, journal, emit, observe,
-                    initial=serial_initial,
+                    initial=serial_initial, on_error=on_error,
                 )
                 return
             # Reap idle workers that died between tasks, then dispatch.
@@ -699,9 +795,13 @@ def _run_supervised_pool(fn, arguments, pending, results, jobs, timeout,
                 time.sleep(0.01)
                 continue
             wait_for = 0.5
-            if timeout is not None:
-                next_deadline = min(w.task[2] + timeout for w in busy)
-                wait_for = min(wait_for, next_deadline - time.monotonic())
+            deadlines = [
+                w.task[2] + timeouts[w.task[0]]
+                for w in busy
+                if timeouts[w.task[0]] is not None
+            ]
+            if deadlines:
+                wait_for = min(wait_for, min(deadlines) - time.monotonic())
             if queue:
                 next_eligible = min(entry[2] for entry in queue)
                 wait_for = min(wait_for, next_eligible - time.monotonic())
@@ -729,52 +829,61 @@ def _run_supervised_pool(fn, arguments, pending, results, jobs, timeout,
                     continue
                 if payload.get("kind") == "KeyboardInterrupt":
                     raise KeyboardInterrupt()
-                if retry_errors and task is not None:
+                attempt = task[1] if task is not None else 1
+                fail_task(
+                    index, attempt, TaskError,
+                    "failed (%s)" % payload.get("kind"), payload,
+                    allow_retry=retry_errors,
+                )
+            now = time.monotonic()
+            for worker in list(workers):
+                if worker.task is None:
+                    continue
+                index, attempt, started = worker.task
+                limit = timeouts[index]
+                if limit is not None and now - started > limit:
+                    observe.counter("supervised.timeouts")
+                    worker.task = None
+                    retire(worker)
                     fail_task(
-                        index, task[1], TaskError,
-                        "failed (%s)" % payload.get("kind"), payload,
+                        index, attempt, TaskTimeout,
+                        "timed out after %.2gs" % limit,
                     )
-                else:
-                    _raise_remote(
-                        payload, task_key=Journal.key_for(arguments[index])
-                    )
-            if timeout is not None:
-                now = time.monotonic()
-                for worker in list(workers):
-                    if worker.task is None:
-                        continue
-                    index, attempt, started = worker.task
-                    if now - started > timeout:
-                        observe.counter("supervised.timeouts")
-                        worker.task = None
-                        retire(worker)
-                        fail_task(
-                            index, attempt, TaskTimeout,
-                            "timed out after %.2gs" % timeout,
-                        )
     finally:
         _shutdown_workers(workers)
 
 
 def supervised_map(fn, argument_tuples, jobs=None, timeout=None, retries=2,
                    backoff=0.25, journal=None, retry_errors=False,
-                   degrade_after=None, log=None, observe=NULL_RECORDER):
+                   degrade_after=None, log=None, observe=NULL_RECORDER,
+                   on_error="raise"):
     """Resilient :func:`parallel_map`: supervise every task to completion.
 
     The campaign runner behind ``repro faults`` (and, via the
-    ``--journal`` options, the fuzzer and sweeps).  Semantics:
+    ``--journal`` options, the fuzzer, sweeps, and the serving
+    dispatcher).  Semantics:
 
     * ``jobs`` in (None, 0, 1) runs serially in-process; otherwise
       *jobs* supervised worker processes are spawned, each running one
       task at a time over a duplex pipe;
     * ``timeout`` (seconds, pool mode only) bounds each task attempt;
-      an overrunning worker is **terminated** and the task retried;
+      an overrunning worker is **terminated** and the task retried.  A
+      scalar applies to every task; a sequence supplies one deadline
+      per task (entries may be None for "no deadline") — how the
+      service propagates per-job ``deadline_ms`` values into one
+      coalesced dispatch;
     * a worker that dies mid-task (killed, segfault, ``os._exit``) is
       replaced and its task retried — timeouts and deaths always
       consume the ``retries`` budget with exponential ``backoff``
       (``backoff * 2**(attempt-1)`` seconds); exceptions *raised by fn*
       only retry when ``retry_errors`` is set, otherwise they re-raise
       immediately (structured sim taxonomy / :class:`TaskError`);
+    * ``on_error`` controls what an *exhausted* task does to the rest
+      of the map: ``"raise"`` (default) aborts the whole run with the
+      task's exception; ``"return"`` places a :class:`TaskFailure` in
+      that task's result slot and keeps going, so one poisoned task in
+      a coalesced service batch cannot sink its groupmates.  Failures
+      are never journaled as completed;
     * ``journal`` (a path or :class:`Journal`) records every completed
       task; on a rerun, journaled tasks are skipped and their recorded
       results returned — so an interrupted campaign resumes where it
@@ -788,7 +897,20 @@ def supervised_map(fn, argument_tuples, jobs=None, timeout=None, retries=2,
 
     Returns results in input order, like :func:`parallel_map`.
     """
+    if on_error not in ("raise", "return"):
+        raise ValueError(
+            "on_error must be 'raise' or 'return', got %r" % (on_error,)
+        )
     arguments = [tuple(a) for a in argument_tuples]
+    if timeout is None or isinstance(timeout, (int, float)):
+        timeouts = [timeout] * len(arguments)
+    else:
+        timeouts = list(timeout)
+        if len(timeouts) != len(arguments):
+            raise ValueError(
+                "timeout sequence length %d != task count %d"
+                % (len(timeouts), len(arguments))
+            )
     if isinstance(journal, str):
         journal = Journal(journal)
     emit = log if log is not None else (lambda message: None)
@@ -812,16 +934,19 @@ def supervised_map(fn, argument_tuples, jobs=None, timeout=None, retries=2,
     if not pending:
         return results
     try:
-        if not jobs or jobs == 1 or (len(pending) == 1 and timeout is None):
+        if not jobs or jobs == 1 or (
+            len(pending) == 1 and timeouts[pending[0]] is None
+        ):
             _run_serial(
                 fn, arguments, pending, results, retries, backoff,
                 retry_errors, journal, emit, observe, initial=initial,
+                on_error=on_error,
             )
         else:
             _run_supervised_pool(
-                fn, arguments, pending, results, jobs, timeout, retries,
+                fn, arguments, pending, results, jobs, timeouts, retries,
                 backoff, retry_errors, degrade_after, journal, emit, observe,
-                initial=initial,
+                initial=initial, on_error=on_error,
             )
     finally:
         if journal is not None:

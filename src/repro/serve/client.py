@@ -101,3 +101,47 @@ class ServeClient:
             )
             terminal[job_id] = event
         return [terminal[job["id"]] for job in jobs]
+
+    def try_run_jobs(self, jobs):
+        """Disconnect-tolerant :meth:`run_jobs` (the chaos harness's
+        submission path: the service may be killed mid-batch).
+
+        Returns ``{"events": [...], "accepted": [...], "disconnected":
+        bool}`` — ``events`` holds each job's terminal event in
+        submission order (None for jobs still outstanding when the
+        connection died), ``accepted`` the ids the service acknowledged
+        (and therefore write-ahead journaled) before any disconnect.
+        """
+        jobs = [dict(job) for job in jobs]
+        submitted = {}
+        for index, job in enumerate(jobs):
+            job.setdefault("id", "client-%d" % index)
+            submitted[job["id"]] = index
+        accepted = []
+        terminal = {}
+        disconnected = False
+        try:
+            for job in jobs:
+                self.send(job)
+            while len(terminal) < len(jobs):
+                event = self.read_event()
+                if event is None:
+                    disconnected = True
+                    break
+                job_id = event.get("id")
+                if job_id not in submitted:
+                    continue
+                if event.get("event") in ("accepted", "rejected"):
+                    if event["event"] == "accepted":
+                        accepted.append(job_id)
+                    else:
+                        terminal[job_id] = event
+                    continue
+                terminal[job_id] = event
+        except (ConnectionError, OSError, ValueError):
+            disconnected = True
+        return {
+            "events": [terminal.get(job["id"]) for job in jobs],
+            "accepted": accepted,
+            "disconnected": disconnected,
+        }

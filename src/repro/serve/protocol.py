@@ -27,11 +27,18 @@ one-to-one from :mod:`repro.sim.errors`:
 * ``program`` / ``machine`` / ``internal`` — the structured simulator
   taxonomy, with ``pc``/``cycle``/``backend`` carried through;
 * ``protocol`` — the request itself was malformed (unparseable JSON,
-  unknown kind/strategy/backend/partitioner, bad field types); the
-  offending field is named in ``message``.
+  unknown kind/strategy/backend/partitioner, an unknown top-level
+  field, a line over :data:`MAX_LINE_BYTES`, a truncated final line,
+  bad field types); the offending field is named in ``message``;
+* ``deadline`` — the job carried a ``deadline_ms`` budget that expired
+  before (or during) execution (kind ``DeadlineExceeded``);
+* ``unavailable`` — the circuit breaker for this job's compile key is
+  open after repeated compile failures (kind ``CircuitOpen``;
+  ``retry_after_s`` hints when a half-open probe will be admitted).
 
 Admission control is a distinct ``rejected`` event (not an error): the
-job was well-formed but the bounded queue is full — resubmit later.
+job was well-formed but the bounded queue is full — resubmit after the
+event's ``retry_after_s`` hint.
 
 See ``docs/serving.md`` for the full schema and worked transcripts.
 """
@@ -52,6 +59,14 @@ JOB_KINDS = ("run", "recipe")
 #: hard per-line budget — a submission larger than this is rejected
 #: before parsing (protects the service from unbounded buffering)
 MAX_LINE_BYTES = 4 * 1024 * 1024
+
+#: every top-level field a job submission may carry; anything else is
+#: a typo or a version skew and is rejected with a ``protocol`` error
+#: instead of being silently dropped
+JOB_FIELDS = frozenset((
+    "kind", "id", "strategy", "partitioner", "backend", "writes", "reads",
+    "workload", "recipe", "tenant", "deadline_ms",
+))
 
 
 class JobError(ValueError):
@@ -119,6 +134,13 @@ def validate_job(obj):
             "unknown kind %r (choose from: %s)" % (kind, ", ".join(JOB_KINDS)),
             field="kind",
         )
+    unknown = sorted(set(obj) - JOB_FIELDS)
+    if unknown:
+        raise JobError(
+            "unknown field(s) %s (allowed: %s)"
+            % (", ".join(unknown), ", ".join(sorted(JOB_FIELDS))),
+            field=unknown[0],
+        )
     job = {
         "kind": kind,
         "strategy": obj.get("strategy", "CB"),
@@ -129,6 +151,15 @@ def validate_job(obj):
     }
     if "id" in obj:
         job["id"] = str(obj["id"])
+    if "deadline_ms" in obj:
+        deadline_ms = obj["deadline_ms"]
+        if (not isinstance(deadline_ms, (int, float))
+                or isinstance(deadline_ms, bool) or deadline_ms <= 0):
+            raise JobError(
+                "deadline_ms must be a positive number of milliseconds",
+                field="deadline_ms",
+            )
+        job["deadline_ms"] = float(deadline_ms)
     _require_name(job, "strategy", Strategy.__members__, "strategy")
     _require_name(job, "partitioner", PARTITIONERS, "partitioner")
     _require_name(job, "backend", BACKENDS, "backend")
@@ -192,6 +223,38 @@ def error_event(job_id, exc):
         if value is not None:
             event[attribute] = value
     return event
+
+
+def deadline_event(job_id, message, attempts=None):
+    """Terminal event for a job whose ``deadline_ms`` budget expired
+    (before dispatch, mid-execution, or by the time its result landed).
+    ``attempts`` carries the supervision attempt count when the
+    deadline terminated a running group."""
+    event = {
+        "event": "error",
+        "id": job_id,
+        "kind": "DeadlineExceeded",
+        "category": "deadline",
+        "message": message,
+    }
+    if attempts is not None:
+        event["attempts"] = attempts
+    return event
+
+
+def circuit_open_event(job_id, retry_after_s):
+    """Fail-fast terminal event for a job whose compile key's circuit
+    breaker is open; ``retry_after_s`` hints when the next half-open
+    probe will be admitted."""
+    return {
+        "event": "error",
+        "id": job_id,
+        "kind": "CircuitOpen",
+        "category": "unavailable",
+        "message": "circuit breaker open for this compile key after "
+                   "repeated compile failures; retry after the hint",
+        "retry_after_s": round(retry_after_s, 3),
+    }
 
 
 def error_event_from_description(job_id, description):

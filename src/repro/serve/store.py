@@ -133,6 +133,24 @@ class ArtifactStore:
         return os.path.join(self.root, "objects", entry[:2], entry)
 
     # -- read ----------------------------------------------------------
+    @staticmethod
+    def _read_verified(path):
+        """Read and fully verify one entry file: header format pin,
+        SHA-256 of the payload against the recorded digest, and a clean
+        unpickle.  Returns the stored value; raises on any defect.
+        ``OSError`` means the entry does not exist (a plain miss);
+        anything else means corruption.  Shared by :meth:`get` (lazy,
+        per-read) and :meth:`scrub` (eager, whole-store walk)."""
+        with open(path, "rb") as handle:
+            header_line = handle.readline()
+            payload = handle.read()
+        header = json.loads(header_line)
+        if header.get("format") != FORMAT_VERSION:
+            raise ValueError("format mismatch")
+        if hashlib.sha256(payload).hexdigest() != header.get("digest"):
+            raise ValueError("payload digest mismatch")
+        return pickle.loads(payload)
+
     def get(self, key):
         """The stored object for *key*, or None on miss/corruption.
 
@@ -143,20 +161,11 @@ class ArtifactStore:
         """
         path = self.path_for(key)
         try:
-            with open(path, "rb") as handle:
-                header_line = handle.readline()
-                payload = handle.read()
+            value = self._read_verified(path)
         except OSError:
             self.misses += 1
             self.observe.counter("store.miss")
             return None
-        try:
-            header = json.loads(header_line)
-            if header.get("format") != FORMAT_VERSION:
-                raise ValueError("format mismatch")
-            if hashlib.sha256(payload).hexdigest() != header.get("digest"):
-                raise ValueError("payload digest mismatch")
-            value = pickle.loads(payload)
         except Exception:
             self._discard(path)
             self.corrupt += 1
@@ -267,6 +276,32 @@ class ArtifactStore:
             total -= size
             self.evicted += 1
             self.observe.counter("store.evicted")
+
+    def scrub(self):
+        """Eagerly verify every entry (``repro serve --scrub-cache``).
+
+        Walks the whole store through the same
+        :meth:`_read_verified` contract the lazy read path applies —
+        header format, payload digest, unpickle — and deletes anything
+        that fails, so corruption surfaces (and is purged) up front
+        instead of at first read.  Returns ``{"checked": N, "corrupt":
+        N, "purged_bytes": N}``; corrupt entries also land on the
+        ``store.corrupt`` counter and tally.
+        """
+        checked = corrupt = purged = 0
+        for path, size, _mtime in self.entries():
+            checked += 1
+            try:
+                self._read_verified(path)
+            except Exception:
+                self._discard(path)
+                corrupt += 1
+                purged += size
+                self.corrupt += 1
+                self.observe.counter("store.corrupt")
+        self.observe.counter("store.scrubbed", checked)
+        return {"checked": checked, "corrupt": corrupt,
+                "purged_bytes": purged}
 
     def clear(self):
         """Delete every entry (the store directory itself survives)."""

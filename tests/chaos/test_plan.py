@@ -1,0 +1,81 @@
+"""Chaos plans are seeded values: equal seeds draw equal plans, plans
+round-trip through JSON, the version is pinned, and every drawn job is
+a valid protocol submission."""
+
+import re
+
+import pytest
+
+from repro.chaos.plan import (
+    EVENT_KINDS,
+    VERSION,
+    ChaosPlan,
+    generate_plan,
+)
+from repro.serve.protocol import validate_job
+
+
+# ---------------------------------------------------------------------
+# Determinism
+# ---------------------------------------------------------------------
+def test_same_seed_draws_equal_plans():
+    first = generate_plan(7, cycles=3, jobs_per_cycle=4)
+    second = generate_plan(7, cycles=3, jobs_per_cycle=4)
+    assert first == second
+    assert first.to_json() == second.to_json()
+    assert hash(first) == hash(second)
+
+
+def test_distinct_seeds_draw_distinct_plans():
+    assert generate_plan(1) != generate_plan(2)
+
+
+# ---------------------------------------------------------------------
+# Serialization
+# ---------------------------------------------------------------------
+def test_json_round_trip_preserves_the_plan():
+    plan = generate_plan(42, cycles=2, jobs_per_cycle=3)
+    restored = ChaosPlan.from_json(plan.to_json())
+    assert restored == plan
+    assert restored.jobs() == plan.jobs()
+
+
+def test_version_is_pinned():
+    data = generate_plan(1).to_dict()
+    assert data["version"] == VERSION
+    data["version"] = VERSION + 1
+    with pytest.raises(ValueError):
+        ChaosPlan.from_dict(data)
+
+
+# ---------------------------------------------------------------------
+# Drawn structure
+# ---------------------------------------------------------------------
+def test_every_cycle_ends_in_a_kill_and_sabotage_waits_for_a_store():
+    plan = generate_plan(3, cycles=4, jobs_per_cycle=2)
+    assert len(plan.cycles) == 4
+    for index, cycle in enumerate(plan.cycles):
+        kinds = [event[0] for event in cycle["events"]]
+        assert "kill" in kinds
+        assert all(kind in EVENT_KINDS for kind in kinds)
+        if index == 0:
+            # nothing to corrupt before the first cycle populated it
+            assert "corrupt" not in kinds and "truncate" not in kinds
+
+
+def test_jobs_are_valid_submissions_with_stable_ids():
+    plan = generate_plan(11, cycles=2, jobs_per_cycle=5)
+    jobs = plan.jobs()
+    assert len(jobs) == 10
+    for job in jobs:
+        assert re.fullmatch(r"chaos-11-\d+-\d+", job["id"])
+        validated = validate_job(dict(job))
+        assert validated["kind"] in ("run", "recipe")
+    assert len({job["id"] for job in jobs}) == len(jobs)
+
+
+def test_repr_summarizes_the_campaign():
+    plan = generate_plan(5, cycles=2, jobs_per_cycle=1)
+    text = repr(plan)
+    assert "seed=5" in text
+    assert "kills=2" in text

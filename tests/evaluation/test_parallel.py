@@ -12,6 +12,7 @@ import pytest
 from repro.evaluation.parallel import (
     Journal,
     TaskError,
+    TaskFailure,
     TaskTimeout,
     WorkerDied,
     default_jobs,
@@ -435,6 +436,88 @@ def test_pool_leg_journals_started_then_completed(tmp_path):
     with open(journal_path, encoding="utf-8") as handle:
         entries = [json.loads(line) for line in handle if line.strip()]
     assert sum(1 for entry in entries if entry.get("started")) == 3
+    _assert_no_orphans()
+
+
+# ----------------------------------------------------------------------
+# on_error="return" and per-task timeouts (the serving dispatcher's leg)
+# ----------------------------------------------------------------------
+def _fail_odd(x):
+    if x % 2:
+        raise ValueError("odd boom %d" % x)
+    return x * 10
+
+
+def _sleep_if(x):
+    if x:
+        time.sleep(60)
+    return "ok"
+
+
+def test_on_error_return_keeps_failures_in_slot():
+    """One exhausted task must not sink the map: its slot holds a
+    TaskFailure carrying kind/attempts, the other slots their results."""
+    for jobs in (None, 2):
+        results = supervised_map(
+            _fail_odd, [(1,), (2,), (3,)], jobs=jobs, retries=0,
+            backoff=0.01, on_error="return",
+        )
+        assert isinstance(results[0], TaskFailure)
+        assert results[0].kind == "ValueError"
+        assert "odd boom 1" in results[0].message
+        assert results[0].attempts == 1
+        assert results[1] == 20
+        assert isinstance(results[2], TaskFailure)
+    _assert_no_orphans()
+
+
+def test_on_error_return_failures_stay_out_of_journal(tmp_path):
+    """A terminal failure is retryable by a resumed run: it must never
+    be journaled as completed."""
+    journal_path = str(tmp_path / "journal.jsonl")
+    results = supervised_map(
+        _fail_odd, [(1,), (2,)], jobs=2, retries=0, backoff=0.01,
+        on_error="return", journal=journal_path,
+    )
+    assert isinstance(results[0], TaskFailure)
+    reloaded = Journal(journal_path)
+    assert Journal.key_for((1,)) not in reloaded.completed
+    assert reloaded.completed[Journal.key_for((2,))] == 20
+    _assert_no_orphans()
+
+
+def test_on_error_validated():
+    with pytest.raises(ValueError):
+        supervised_map(_square, [(1,)], on_error="explode")
+
+
+def test_per_task_timeout_sequence():
+    """A timeout sequence binds each task separately: the hung task is
+    terminated at its own deadline while its unbounded neighbour
+    finishes untouched."""
+    results = supervised_map(
+        _sleep_if, [(1,), (0,)], jobs=2, timeout=[0.4, None],
+        retries=0, backoff=0.01, on_error="return",
+    )
+    assert isinstance(results[0], TaskFailure)
+    assert results[0].kind == "TaskTimeout"
+    assert results[1] == "ok"
+    _assert_no_orphans()
+
+
+def test_timeout_sequence_length_validated():
+    with pytest.raises(ValueError):
+        supervised_map(_square, [(1,), (2,)], timeout=[0.5])
+
+
+def test_task_failure_describe_round_trips():
+    failure = supervised_map(
+        _fail, [(1,)], jobs=2, retries=0, backoff=0.01, on_error="return",
+    )[0]
+    described = failure.describe()
+    assert described["kind"] == "ValueError"
+    assert described["attempts"] == 1
+    assert "boom" in described["message"]
     _assert_no_orphans()
 
 

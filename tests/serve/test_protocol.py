@@ -57,6 +57,30 @@ def test_bad_fields_are_named(overrides, field):
     assert info.value.field == field
 
 
+def test_unknown_top_level_fields_are_named_not_dropped():
+    with pytest.raises(JobError) as info:
+        validate_job(_run_job(retriez=3))
+    assert info.value.field == "retriez"
+    assert "retriez" in str(info.value)
+    # several typos: the first (sorted) is the named culprit, all appear
+    with pytest.raises(JobError) as info:
+        validate_job(_run_job(zz=1, aa=2))
+    assert info.value.field == "aa"
+    assert "zz" in str(info.value)
+
+
+@pytest.mark.parametrize("bad", [-5, 0, True, False, "soon", None, [100]])
+def test_deadline_ms_must_be_a_positive_number(bad):
+    with pytest.raises(JobError) as info:
+        validate_job(_run_job(deadline_ms=bad))
+    assert info.value.field == "deadline_ms"
+
+
+def test_deadline_ms_normalizes_to_float():
+    assert validate_job(_run_job(deadline_ms=1500))["deadline_ms"] == 1500.0
+    assert validate_job(_run_job(deadline_ms=0.5))["deadline_ms"] == 0.5
+
+
 def test_recipe_jobs_need_a_recipe_dict():
     with pytest.raises(JobError) as info:
         validate_job({"kind": "recipe", "recipe": "seed=3"})
@@ -110,6 +134,22 @@ def test_unknown_exceptions_are_internal():
     event = protocol.error_event(None, RuntimeError("surprise"))
     assert event["category"] == "internal"
     assert event["kind"] == "RuntimeError"
+
+
+def test_deadline_event_shape():
+    event = protocol.deadline_event("j", "expired before dispatch")
+    assert event["category"] == "deadline"
+    assert event["kind"] == "DeadlineExceeded"
+    assert "attempts" not in event
+    with_attempts = protocol.deadline_event("j", "terminated", attempts=3)
+    assert with_attempts["attempts"] == 3
+
+
+def test_circuit_open_event_shape():
+    event = protocol.circuit_open_event("j", 1.23456)
+    assert event["category"] == "unavailable"
+    assert event["kind"] == "CircuitOpen"
+    assert event["retry_after_s"] == 1.235  # rounded for the wire
 
 
 def test_error_event_from_description_preserves_context():

@@ -289,3 +289,27 @@ def test_process_compile_cache_shares_per_directory(tmp_path):
     second = process_compile_cache(str(tmp_path))
     assert first is second
     assert process_compile_cache(None).store is None
+
+
+# ---------------------------------------------------------------------
+# Eager scrub (repro serve --scrub-cache)
+# ---------------------------------------------------------------------
+def test_scrub_purges_corrupt_entries_up_front(tmp_path):
+    store = ArtifactStore(tmp_path)
+    paths = {
+        suffix: store.put(_key(suffix), _compiled())
+        for suffix in ("a", "b", "c")
+    }
+    _corrupt(paths["b"], lambda data: data[: len(data) // 2])
+
+    report = store.scrub()
+    assert report["checked"] == 3
+    assert report["corrupt"] == 1
+    assert report["purged_bytes"] > 0
+    assert not os.path.exists(paths["b"])
+    # intact entries survive the scrub; the purged one reads as a miss
+    assert store.get(_key("a")) is not None
+    assert store.get(_key("c")) is not None
+    assert store.get(_key("b")) is None
+    # a second pass finds nothing left to purge
+    assert store.scrub() == {"checked": 2, "corrupt": 0, "purged_bytes": 0}

@@ -18,6 +18,7 @@ ALL_COMMANDS = (
     "graph",
     "partition-gap",
     "serve",
+    "chaos",
 )
 
 
@@ -217,6 +218,43 @@ def test_faults_writes_json_report(capsys, tmp_path):
     assert report["runs"] == 1
     assert set(report["strategies"]) == {"CB_DUP"}
     assert "obs" in report  # the CLI campaign runs instrumented
+
+
+@pytest.mark.chaos
+def test_chaos_tiny_end_to_end(capsys, tmp_path):
+    """`repro chaos` drives a one-cycle campaign end to end: plan draw,
+    live service, kill/restart, verdict render, JSON report."""
+    import json
+
+    path = str(tmp_path / "chaos.json")
+    assert (
+        main(
+            [
+                "chaos", "--seed", "5", "--cycles", "1",
+                "--jobs-per-cycle", "1", "--budget", "60",
+                "--work-dir", str(tmp_path / "work"), "--json", path,
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "verdict: OK" in out
+    with open(path) as handle:
+        report = json.load(handle)
+    assert report["ok"] is True
+    assert report["invariants"]["lost"] == 0
+    assert report["invariants"]["duplicate_executions"] == 0
+
+
+def test_chaos_replays_a_saved_plan(tmp_path, capsys):
+    """`--plan` rejects a plan whose pinned version drifted."""
+    import json
+
+    stale = str(tmp_path / "stale.json")
+    with open(stale, "w") as handle:
+        json.dump({"version": 999, "seed": 0, "cycles": []}, handle)
+    with pytest.raises(ValueError, match="chaos plan version"):
+        main(["chaos", "--plan", stale])
 
 
 def test_report_workload_emits_observability_markdown(capsys):
